@@ -1,0 +1,375 @@
+// Package chronos is a Go implementation of "Chronos: A Unifying
+// Optimization Framework for Speculative Execution of Deadline-critical
+// MapReduce Jobs" (Xu, Alamro, Lan, Subramaniam — ICDCS 2018).
+//
+// Chronos mitigates straggler tasks in deadline-critical MapReduce jobs by
+// launching speculative or clone task attempts, and — unlike LATE, Mantri,
+// or default Hadoop speculation — chooses how many attempts to launch by
+// solving a joint optimization of the Probability of Completion before
+// Deadline (PoCD) against the machine-time cost of the extra attempts.
+//
+// The package exposes three layers:
+//
+//   - Analytics: closed-form PoCD and expected machine time for the Clone,
+//     Speculative-Restart, and Speculative-Resume strategies under Pareto
+//     task times (Theorems 1-6 of the paper), via PoCD and ExpectedMachineTime.
+//   - Optimization: the net-utility maximization U(r) = log10(R(r)-Rmin) -
+//     theta*C*E(T) solved exactly by Algorithm 1, via Optimize, OptimizeBest,
+//     MinCostForPoCD, and TradeoffCurve.
+//   - Simulation: a discrete-event MapReduce cluster that executes job
+//     streams under any of the seven strategies (the three Chronos
+//     strategies plus the Hadoop-NS, Hadoop-S, Mantri, and LATE baselines),
+//     via Simulate, Benchmarks, and SyntheticTrace.
+package chronos
+
+import (
+	"errors"
+	"fmt"
+
+	"chronos/internal/analysis"
+	"chronos/internal/optimize"
+	"chronos/internal/pareto"
+)
+
+// Strategy selects a speculation policy.
+type Strategy int
+
+// The seven policies: three Chronos strategies and four baselines.
+const (
+	// Clone proactively launches r+1 attempts of every task at submission.
+	Clone Strategy = iota + 1
+	// SpeculativeRestart launches r from-scratch attempts for each detected
+	// straggler at tauEst.
+	SpeculativeRestart
+	// SpeculativeResume kills each detected straggler and launches r+1
+	// attempts resuming from the last processed byte offset.
+	SpeculativeResume
+	// HadoopNS is default Hadoop without speculation.
+	HadoopNS
+	// HadoopS is default Hadoop speculation.
+	HadoopS
+	// Mantri is the OSDI'10 outlier-mitigation baseline.
+	Mantri
+	// LATE is the OSDI'08 Longest-Approximate-Time-to-End baseline.
+	LATE
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Clone:
+		return "Clone"
+	case SpeculativeRestart:
+		return "Speculative-Restart"
+	case SpeculativeResume:
+		return "Speculative-Resume"
+	case HadoopNS:
+		return "Hadoop-NS"
+	case HadoopS:
+		return "Hadoop-S"
+	case Mantri:
+		return "Mantri"
+	case LATE:
+		return "LATE"
+	default:
+		return "Unknown"
+	}
+}
+
+// ChronosStrategies returns the three analytically optimizable strategies.
+func ChronosStrategies() []Strategy {
+	return []Strategy{Clone, SpeculativeRestart, SpeculativeResume}
+}
+
+// ErrNotAnalytic reports a strategy without closed-form PoCD/cost models
+// (the baselines are simulation-only).
+var ErrNotAnalytic = errors.New("chronos: strategy has no closed-form model; use Simulate")
+
+// JobParams describes one job for the analytic layer: N parallel tasks with
+// i.i.d. Pareto(TMin, Beta) attempt execution times and a deadline D.
+type JobParams struct {
+	// Tasks is the number of parallel tasks N.
+	Tasks int
+	// Deadline is D, in seconds from job start.
+	Deadline float64
+	// TMin and Beta are the Pareto scale and tail index of a single
+	// attempt's execution time. Beta must exceed 1 (finite mean).
+	TMin, Beta float64
+	// TauEst is the straggler-detection instant (ignored by Clone).
+	TauEst float64
+	// TauKill is the attempt-pruning instant.
+	TauKill float64
+	// PhiEst is the expected progress of a straggler at TauEst; zero means
+	// "derive from the model" (see analysis.Params.DefaultPhiEst).
+	PhiEst float64
+}
+
+// Econ carries the economic parameters of the joint optimization.
+type Econ struct {
+	// Theta is the PoCD/cost tradeoff factor (>0).
+	Theta float64
+	// UnitPrice is the VM price C per unit machine time (>0).
+	UnitPrice float64
+	// RMin is the minimum acceptable PoCD; utility is -Inf below it.
+	RMin float64
+}
+
+// Plan is an optimized speculation configuration.
+type Plan struct {
+	// Strategy is the planned policy.
+	Strategy Strategy
+	// R is the optimal number of extra attempts.
+	R int
+	// PoCD, MachineTime, Cost and Utility evaluate the plan.
+	PoCD        float64
+	MachineTime float64
+	Cost        float64
+	Utility     float64
+}
+
+// TradeoffPoint is one sample of the PoCD/cost frontier.
+type TradeoffPoint struct {
+	R           int
+	PoCD        float64
+	MachineTime float64
+	Cost        float64
+	Utility     float64
+}
+
+// toAnalysis converts the public params to the internal model, validating.
+func (p JobParams) toAnalysis() (analysis.Params, error) {
+	dist, err := pareto.New(p.TMin, p.Beta)
+	if err != nil {
+		return analysis.Params{}, err
+	}
+	ap := analysis.Params{
+		N:        p.Tasks,
+		Deadline: p.Deadline,
+		Task:     dist,
+		TauEst:   p.TauEst,
+		TauKill:  p.TauKill,
+		PhiEst:   p.PhiEst,
+	}
+	if err := ap.Validate(); err != nil {
+		return analysis.Params{}, err
+	}
+	return ap, nil
+}
+
+// analyticKind maps public strategies onto internal analytic models.
+func analyticKind(s Strategy) (analysis.Strategy, error) {
+	switch s {
+	case Clone:
+		return analysis.StrategyClone, nil
+	case SpeculativeRestart:
+		return analysis.StrategyRestart, nil
+	case SpeculativeResume:
+		return analysis.StrategyResume, nil
+	default:
+		return 0, fmt.Errorf("%w: %v", ErrNotAnalytic, s)
+	}
+}
+
+// PoCD returns the closed-form probability that the job completes before
+// its deadline when the strategy uses r extra attempts (Theorems 1, 3, 5).
+func PoCD(s Strategy, p JobParams, r int) (float64, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return 0, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("chronos: negative r %d", r)
+	}
+	return analysis.NewModel(kind, ap).PoCD(r), nil
+}
+
+// ExpectedMachineTime returns the closed-form expected total machine
+// running time of the job (Theorems 2, 4, 6).
+func ExpectedMachineTime(s Strategy, p JobParams, r int) (float64, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return 0, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("chronos: negative r %d", r)
+	}
+	return analysis.NewModel(kind, ap).MachineTime(r), nil
+}
+
+// Optimize solves the joint PoCD/cost optimization (Algorithm 1) for one
+// strategy and returns the globally optimal plan.
+func Optimize(s Strategy, p JobParams, e Econ) (Plan, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return Plan{}, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := optimize.Solve(analysis.NewModel(kind, ap), optimize.Config(e))
+	if err != nil {
+		return Plan{}, err
+	}
+	return planFromResult(s, res), nil
+}
+
+// OptimizeBest optimizes all three Chronos strategies and returns the one
+// with the highest net utility.
+func OptimizeBest(p JobParams, e Econ) (Plan, error) {
+	best := Plan{}
+	found := false
+	for _, s := range ChronosStrategies() {
+		plan, err := Optimize(s, p, e)
+		if err != nil {
+			if errors.Is(err, optimize.ErrInfeasible) {
+				continue
+			}
+			return Plan{}, err
+		}
+		if !found || plan.Utility > best.Utility {
+			best, found = plan, true
+		}
+	}
+	if !found {
+		return Plan{}, optimize.ErrInfeasible
+	}
+	return best, nil
+}
+
+// MinCostForPoCD returns the cheapest plan for the strategy that reaches
+// the PoCD target — the "budget for a desired SLA" direction of the
+// tradeoff.
+func MinCostForPoCD(s Strategy, p JobParams, e Econ, target float64) (Plan, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return Plan{}, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := optimize.MinCostForPoCD(analysis.NewModel(kind, ap), optimize.Config(e), target)
+	if err != nil {
+		return Plan{}, err
+	}
+	return planFromResult(s, res), nil
+}
+
+// TradeoffCurve samples the PoCD/cost frontier for r = 0..maxR.
+func TradeoffCurve(s Strategy, p JobParams, e Econ, maxR int) ([]TradeoffPoint, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	pts := optimize.Curve(analysis.NewModel(kind, ap), optimize.Config(e), maxR)
+	out := make([]TradeoffPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = TradeoffPoint{
+			R: pt.R, PoCD: pt.PoCD, MachineTime: pt.MachineTime,
+			Cost: pt.Cost, Utility: pt.Utility,
+		}
+	}
+	return out, nil
+}
+
+func planFromResult(s Strategy, res optimize.Result) Plan {
+	return Plan{
+		Strategy:    s,
+		R:           res.R,
+		PoCD:        res.PoCD,
+		MachineTime: res.MachineTime,
+		Cost:        res.Cost,
+		Utility:     res.Utility,
+	}
+}
+
+// CompletionCDF returns P(job completes by t) for the strategy with r extra
+// attempts — the full completion-time distribution behind the PoCD point
+// value.
+func CompletionCDF(s Strategy, p JobParams, r int, t float64) (float64, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return 0, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return 0, err
+	}
+	return analysis.CompletionCDF(analysis.NewModel(kind, ap), r, t), nil
+}
+
+// DeadlineQuantile returns the tightest deadline the strategy can promise
+// with probability target using r extra attempts — the SLA-quoting
+// direction of the model ("what D can I sign at the 99.9th percentile?").
+func DeadlineQuantile(s Strategy, p JobParams, r int, target float64) (float64, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return 0, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return 0, err
+	}
+	return analysis.DeadlineForPoCD(analysis.NewModel(kind, ap), r, target), nil
+}
+
+// BatchJob pairs a job with its strategy for shared-budget planning.
+type BatchJob struct {
+	// Strategy must be one of the three Chronos strategies.
+	Strategy Strategy
+	// Params describes the job.
+	Params JobParams
+	// RMin is the job's minimum acceptable PoCD.
+	RMin float64
+}
+
+// BatchPlan is the allocation for one batch job.
+type BatchPlan struct {
+	// R is the number of extra attempts granted to the job.
+	R int
+	// PoCD and MachineTime evaluate the grant.
+	PoCD        float64
+	MachineTime float64
+}
+
+// PlanBatch allocates a shared machine-time budget across M concurrent jobs
+// (the paper's multi-job setting, Section III): it greedily grants extra
+// attempts where they buy the most log-PoCD per machine-second, stopping at
+// the budget. Returns ErrBudgetTooSmall (from the optimize package) when the
+// budget cannot even cover r=0 for every job.
+func PlanBatch(jobs []BatchJob, budget float64) ([]BatchPlan, error) {
+	batch := make([]optimize.BatchJob, len(jobs))
+	for i, j := range jobs {
+		kind, err := analyticKind(j.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		ap, err := j.Params.toAnalysis()
+		if err != nil {
+			return nil, err
+		}
+		batch[i] = optimize.BatchJob{Model: analysis.NewModel(kind, ap), RMin: j.RMin}
+	}
+	results, err := optimize.BatchSolve(batch, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchPlan, len(results))
+	for i, r := range results {
+		out[i] = BatchPlan{R: r.R, PoCD: r.PoCD, MachineTime: r.MachineTime}
+	}
+	return out, nil
+}

@@ -1,0 +1,417 @@
+package chronos
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func apiParams() JobParams {
+	return JobParams{
+		Tasks:    10,
+		Deadline: 100,
+		TMin:     10,
+		Beta:     1.5,
+		TauEst:   30,
+		TauKill:  60,
+	}
+}
+
+func apiEcon() Econ {
+	return Econ{Theta: 1e-4, UnitPrice: 1}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		Clone:              "Clone",
+		SpeculativeRestart: "Speculative-Restart",
+		SpeculativeResume:  "Speculative-Resume",
+		HadoopNS:           "Hadoop-NS",
+		HadoopS:            "Hadoop-S",
+		Mantri:             "Mantri",
+		LATE:               "LATE",
+		Strategy(0):        "Unknown",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestPoCDClosedForm(t *testing.T) {
+	// Theorem 1 by hand: [1 - (tmin/D)^(beta*(r+1))]^N.
+	got, err := PoCD(Clone, apiParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1-math.Pow(0.1, 3.0), 10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PoCD = %v, want %v", got, want)
+	}
+}
+
+func TestPoCDErrors(t *testing.T) {
+	if _, err := PoCD(Mantri, apiParams(), 1); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("PoCD(Mantri) err = %v, want ErrNotAnalytic", err)
+	}
+	bad := apiParams()
+	bad.Beta = 0.5
+	if _, err := PoCD(Clone, bad, 1); err == nil {
+		t.Error("PoCD accepted beta <= 1")
+	}
+	if _, err := PoCD(Clone, apiParams(), -1); err == nil {
+		t.Error("PoCD accepted negative r")
+	}
+}
+
+func TestExpectedMachineTime(t *testing.T) {
+	got, err := ExpectedMachineTime(Clone, apiParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r=0: N * mean = 10 * 30.
+	if math.Abs(got-300) > 1e-9 {
+		t.Errorf("ExpectedMachineTime = %v, want 300", got)
+	}
+	if _, err := ExpectedMachineTime(HadoopS, apiParams(), 0); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("err = %v, want ErrNotAnalytic", err)
+	}
+	if _, err := ExpectedMachineTime(Clone, apiParams(), -2); err == nil {
+		t.Error("accepted negative r")
+	}
+}
+
+func TestOptimizeMatchesCurve(t *testing.T) {
+	for _, s := range ChronosStrategies() {
+		plan, err := Optimize(s, apiParams(), apiEcon())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		curve, err := TradeoffCurve(s, apiParams(), apiEcon(), plan.R+20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range curve {
+			if pt.Utility > plan.Utility+1e-12 {
+				t.Errorf("%v: curve point r=%d beats the plan", s, pt.R)
+			}
+		}
+		if plan.Strategy != s {
+			t.Errorf("plan strategy = %v, want %v", plan.Strategy, s)
+		}
+	}
+}
+
+func TestOptimizeBest(t *testing.T) {
+	best, err := OptimizeBest(apiParams(), apiEcon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ChronosStrategies() {
+		plan, err := Optimize(s, apiParams(), apiEcon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Utility > best.Utility+1e-12 {
+			t.Errorf("OptimizeBest missed %v with utility %v > %v", s, plan.Utility, best.Utility)
+		}
+	}
+}
+
+func TestOptimizeBaselineRejected(t *testing.T) {
+	if _, err := Optimize(LATE, apiParams(), apiEcon()); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("Optimize(LATE) err = %v", err)
+	}
+}
+
+func TestMinCostForPoCD(t *testing.T) {
+	plan, err := MinCostForPoCD(SpeculativeResume, apiParams(), apiEcon(), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PoCD < 0.99 {
+		t.Errorf("plan PoCD %v below target", plan.PoCD)
+	}
+	if _, err := MinCostForPoCD(Mantri, apiParams(), apiEcon(), 0.9); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("baseline accepted: %v", err)
+	}
+}
+
+func TestSimulateQuickstart(t *testing.T) {
+	jobs := Benchmarks()[0].Jobs(100, 10, 400)
+	rep, err := Simulate(SimConfig{
+		Strategy: SpeculativeResume,
+		Seed:     7,
+		TauEst:   40,
+		TauKill:  80,
+		TauScale: TauAbsolute,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 100 {
+		t.Errorf("Jobs = %d, want 100", rep.Jobs)
+	}
+	if rep.PoCD <= 0 || rep.PoCD > 1 {
+		t.Errorf("PoCD = %v", rep.PoCD)
+	}
+	if rep.MeanCost <= 0 || rep.MeanMachineTime <= 0 {
+		t.Errorf("cost/machine time not positive: %+v", rep)
+	}
+	if len(rep.RHistogram) == 0 {
+		t.Error("missing r histogram for a Chronos strategy")
+	}
+	// Baseline comparison on common random numbers: speculation helps.
+	ns, err := Simulate(SimConfig{Strategy: HadoopNS, Seed: 7}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PoCD < ns.PoCD {
+		t.Errorf("S-Resume PoCD %v below Hadoop-NS %v", rep.PoCD, ns.PoCD)
+	}
+	if len(ns.RHistogram) != 0 {
+		t.Error("baseline reported an r histogram")
+	}
+}
+
+func TestSimulateAllStrategiesRun(t *testing.T) {
+	jobs := []SimJob{{Tasks: 5, Deadline: 100, TMin: 10, Beta: 1.5}}
+	for _, s := range []Strategy{Clone, SpeculativeRestart, SpeculativeResume, HadoopNS, HadoopS, Mantri, LATE} {
+		rep, err := Simulate(SimConfig{Strategy: s, Seed: 3}, jobs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.Jobs != 1 {
+			t.Errorf("%v: Jobs = %d", s, rep.Jobs)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(SimConfig{Strategy: Clone}, nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+	if _, err := Simulate(SimConfig{Strategy: Strategy(42)},
+		[]SimJob{{Tasks: 1, Deadline: 10, TMin: 1, Beta: 1.5}}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := Simulate(SimConfig{Strategy: Clone},
+		[]SimJob{{Tasks: 1, Deadline: 10, TMin: 0, Beta: 1.5}}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestSimulateFixedRZero(t *testing.T) {
+	jobs := []SimJob{{Tasks: 4, Deadline: 100, TMin: 10, Beta: 1.5}}
+	rep, err := Simulate(SimConfig{
+		Strategy:  Clone,
+		Seed:      5,
+		UseFixedR: true,
+		FixedR:    0,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RHistogram[0] != 1 {
+		t.Errorf("FixedR=0 not honoured: hist %v", rep.RHistogram)
+	}
+}
+
+func TestSimulateContention(t *testing.T) {
+	jobs := Benchmarks()[0].Jobs(50, 10, 400)
+	clean, err := Simulate(SimConfig{Strategy: HadoopNS, Seed: 11}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Simulate(SimConfig{
+		Strategy: HadoopNS, Seed: 11,
+		ContentionP: 0.4, ContentionMean: 3,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.MeanMachineTime <= clean.MeanMachineTime {
+		t.Errorf("contention did not inflate machine time: %v vs %v",
+			noisy.MeanMachineTime, clean.MeanMachineTime)
+	}
+	if noisy.PoCD > clean.PoCD {
+		t.Errorf("contention improved PoCD: %v vs %v", noisy.PoCD, clean.PoCD)
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name] = true
+		if b.TMin <= 0 || b.Beta <= 1 || b.Deadline <= 0 {
+			t.Errorf("benchmark %s has bad params: %+v", b.Name, b)
+		}
+	}
+	for _, want := range []string{"Sort", "SecondarySort", "TeraSort", "WordCount"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestSyntheticTrace(t *testing.T) {
+	jobs, err := SyntheticTrace(TraceConfig{Jobs: 50, HorizonSeconds: 3600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 50 {
+		t.Fatalf("got %d jobs, want 50", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Tasks < 1 || j.Deadline <= 0 || j.TMin <= 0 || j.Beta <= 1 {
+			t.Errorf("bad trace job %+v", j)
+		}
+		if j.Arrival < 0 || j.Arrival > 3600 {
+			t.Errorf("arrival %v outside horizon", j.Arrival)
+		}
+	}
+	// Trace jobs run end to end.
+	rep, err := Simulate(SimConfig{Strategy: SpeculativeResume, Seed: 4}, jobs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 10 {
+		t.Errorf("simulated %d trace jobs, want 10", rep.Jobs)
+	}
+}
+
+func TestPlanBatch(t *testing.T) {
+	jobs := []BatchJob{
+		{Strategy: Clone, Params: apiParams()},
+		{Strategy: SpeculativeResume, Params: apiParams()},
+	}
+	var base float64
+	for _, j := range jobs {
+		mt, err := ExpectedMachineTime(j.Strategy, j.Params, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += mt
+	}
+	plans, err := PlanBatch(jobs, base*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("got %d plans, want 2", len(plans))
+	}
+	var spent float64
+	granted := 0
+	for _, p := range plans {
+		spent += p.MachineTime
+		granted += p.R
+	}
+	if spent > base*2+1e-6 {
+		t.Errorf("batch spends %v over budget %v", spent, base*2)
+	}
+	if granted == 0 {
+		t.Error("no speculation granted with 2x headroom")
+	}
+	// Baselines are rejected.
+	if _, err := PlanBatch([]BatchJob{{Strategy: Mantri, Params: apiParams()}}, 1e9); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("PlanBatch(Mantri) err = %v", err)
+	}
+	// Bad params are rejected.
+	bad := apiParams()
+	bad.Tasks = 0
+	if _, err := PlanBatch([]BatchJob{{Strategy: Clone, Params: bad}}, 1e9); err == nil {
+		t.Error("PlanBatch accepted invalid params")
+	}
+}
+
+func TestSimulateHadoopEstimatorAblation(t *testing.T) {
+	jobs := Benchmarks()[0].Jobs(60, 10, 400)
+	base := SimConfig{
+		Strategy: SpeculativeResume, Seed: 21,
+		TauEst: 40, TauKill: 80, TauScale: TauAbsolute,
+	}
+	exact, err := Simulate(base, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := base
+	hcfg.UseHadoopEstimator = true
+	hadoop, err := Simulate(hcfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JVM-oblivious estimator overestimates completion, flagging more
+	// false stragglers: it must cost at least as much as Eq. 30.
+	if hadoop.MeanCost < exact.MeanCost*0.98 {
+		t.Errorf("hadoop-estimator cost %v below chronos-estimator %v",
+			hadoop.MeanCost, exact.MeanCost)
+	}
+}
+
+func TestSimulateNodeFailures(t *testing.T) {
+	jobs := Benchmarks()[0].Jobs(40, 10, 400)
+	stable, err := Simulate(SimConfig{
+		Strategy: SpeculativeRestart, Seed: 33,
+		Nodes: 16, SlotsPerNode: 8,
+		TauEst: 40, TauKill: 80, TauScale: TauAbsolute,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing, err := Simulate(SimConfig{
+		Strategy: SpeculativeRestart, Seed: 33,
+		Nodes: 16, SlotsPerNode: 8,
+		TauEst: 40, TauKill: 80, TauScale: TauAbsolute,
+		Failures: &FailureModel{MTBF: 600, MTTR: 60},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every job still completes under failures; PoCD may only degrade.
+	if failing.Jobs != stable.Jobs {
+		t.Errorf("failures lost jobs: %d vs %d", failing.Jobs, stable.Jobs)
+	}
+	if failing.PoCD > stable.PoCD+0.05 {
+		t.Errorf("failures improved PoCD: %v vs %v", failing.PoCD, stable.PoCD)
+	}
+}
+
+func TestCompletionCDFAndDeadlineQuantile(t *testing.T) {
+	p := apiParams()
+	// CDF at the deadline equals the PoCD.
+	pocd, err := PoCD(SpeculativeResume, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := CompletionCDF(SpeculativeResume, p, 2, p.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf-pocd) > 1e-12 {
+		t.Errorf("CDF(D) = %v, PoCD = %v", cdf, pocd)
+	}
+	// The quotable deadline at the 99.9th percentile actually delivers it.
+	d, err := DeadlineQuantile(SpeculativeResume, p, 2, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := CompletionCDF(SpeculativeResume, p, 2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check < 0.999-1e-6 {
+		t.Errorf("quoted deadline %v reaches only %v", d, check)
+	}
+	// Baselines have no closed form.
+	if _, err := CompletionCDF(LATE, p, 1, 50); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("CompletionCDF(LATE) err = %v", err)
+	}
+	if _, err := DeadlineQuantile(Mantri, p, 1, 0.9); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("DeadlineQuantile(Mantri) err = %v", err)
+	}
+}

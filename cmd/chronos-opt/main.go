@@ -1,0 +1,85 @@
+// Command chronos-opt solves the joint PoCD/cost optimization for a job and
+// prints the optimal plan per strategy plus the tradeoff frontier, the way
+// the Chronos AM would at job submission.
+//
+// Usage:
+//
+//	chronos-opt -tasks 10 -deadline 100 -tmin 10 -beta 1.5 \
+//	            -tau-est 30 -tau-kill 60 -theta 1e-4 -price 1 [-rmin 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chronos"
+)
+
+func main() {
+	var (
+		tasks    = flag.Int("tasks", 10, "number of parallel tasks N")
+		deadline = flag.Float64("deadline", 100, "job deadline D (seconds)")
+		tmin     = flag.Float64("tmin", 10, "Pareto scale tmin of task times")
+		beta     = flag.Float64("beta", 1.5, "Pareto tail index beta (>1)")
+		tauEst   = flag.Float64("tau-est", 30, "straggler-detection instant (seconds)")
+		tauKill  = flag.Float64("tau-kill", 60, "attempt-pruning instant (seconds)")
+		theta    = flag.Float64("theta", 1e-4, "PoCD/cost tradeoff factor")
+		price    = flag.Float64("price", 1, "VM unit price C")
+		rmin     = flag.Float64("rmin", 0, "minimum acceptable PoCD")
+		maxR     = flag.Int("curve", 6, "tradeoff-curve points to print (0 disables)")
+	)
+	flag.Parse()
+
+	params := chronos.JobParams{
+		Tasks:    *tasks,
+		Deadline: *deadline,
+		TMin:     *tmin,
+		Beta:     *beta,
+		TauEst:   *tauEst,
+		TauKill:  *tauKill,
+	}
+	econ := chronos.Econ{Theta: *theta, UnitPrice: *price, RMin: *rmin}
+
+	if err := run(params, econ, *maxR); err != nil {
+		fmt.Fprintln(os.Stderr, "chronos-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(params chronos.JobParams, econ chronos.Econ, maxR int) error {
+	fmt.Printf("job: N=%d D=%.1fs task~Pareto(%.1f, %.2f) tauEst=%.1f tauKill=%.1f\n",
+		params.Tasks, params.Deadline, params.TMin, params.Beta, params.TauEst, params.TauKill)
+	fmt.Printf("econ: theta=%g C=%g Rmin=%g\n\n", econ.Theta, econ.UnitPrice, econ.RMin)
+
+	best, err := chronos.OptimizeBest(params, econ)
+	if err != nil {
+		return err
+	}
+	for _, s := range chronos.ChronosStrategies() {
+		plan, err := chronos.Optimize(s, params, econ)
+		if err != nil {
+			fmt.Printf("%-20s infeasible: %v\n", s, err)
+			continue
+		}
+		marker := " "
+		if plan.Strategy == best.Strategy && plan.R == best.R {
+			marker = "*"
+		}
+		fmt.Printf("%s %-20s r*=%d  PoCD=%.4f  E[T]=%.1f  cost=%.1f  utility=%.4f\n",
+			marker, s, plan.R, plan.PoCD, plan.MachineTime, plan.Cost, plan.Utility)
+	}
+
+	if maxR > 0 {
+		fmt.Printf("\ntradeoff frontier (%s):\n", best.Strategy)
+		curve, err := chronos.TradeoffCurve(best.Strategy, params, econ, maxR)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  r   PoCD     E[T]      utility")
+		for _, pt := range curve {
+			fmt.Printf("  %-3d %.4f  %-9.1f %.4f\n", pt.R, pt.PoCD, pt.MachineTime, pt.Utility)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command chronos-sim runs a trace-driven simulation of a strategy on a
+// synthetic Google-like job stream and reports PoCD, cost, and utility —
+// the scaled-up counterpart of the paper's 30-hour, 2700-job evaluation.
+//
+// Usage:
+//
+//	chronos-sim -strategy resume -jobs 270 -horizon 10800 -theta 1e-4 [-seed 1]
+//	chronos-sim -strategy all    -jobs 270
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"chronos"
+)
+
+var strategies = map[string]chronos.Strategy{
+	"clone":   chronos.Clone,
+	"restart": chronos.SpeculativeRestart,
+	"resume":  chronos.SpeculativeResume,
+	"ns":      chronos.HadoopNS,
+	"hadoop":  chronos.HadoopS,
+	"mantri":  chronos.Mantri,
+	"late":    chronos.LATE,
+}
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "resume", "clone, restart, resume, ns, hadoop, mantri, late, or all")
+		jobs     = flag.Int("jobs", 270, "number of trace jobs")
+		horizon  = flag.Float64("horizon", 3*3600, "arrival horizon (seconds)")
+		ratio    = flag.Float64("deadline-ratio", 2, "deadline as a multiple of mean task time")
+		theta    = flag.Float64("theta", 1e-4, "PoCD/cost tradeoff factor")
+		price    = flag.Float64("price", 1, "VM unit price C")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		nodes    = flag.Int("nodes", 2048, "cluster nodes (8 slots each)")
+	)
+	flag.Parse()
+	if err := run(*strategy, *jobs, *horizon, *ratio, *theta, *price, *seed, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "chronos-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(strategy string, jobs int, horizon, ratio, theta, price float64, seed uint64, nodes int) error {
+	stream, err := chronos.SyntheticTrace(chronos.TraceConfig{
+		Jobs:           jobs,
+		HorizonSeconds: horizon,
+		DeadlineRatio:  ratio,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	totalTasks := 0
+	for _, j := range stream {
+		totalTasks += j.Tasks
+	}
+	fmt.Printf("trace: %d jobs, %d tasks, %.1f h horizon, deadline = %.1fx mean\n\n",
+		len(stream), totalTasks, horizon/3600, ratio)
+
+	names := []string{strategy}
+	if strategy == "all" {
+		names = names[:0]
+		for n := range strategies {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	fmt.Printf("%-22s %-8s %-12s %-10s\n", "strategy", "PoCD", "mean cost", "utility")
+	fmt.Println(strings.Repeat("-", 56))
+	for _, name := range names {
+		s, ok := strategies[name]
+		if !ok {
+			return fmt.Errorf("unknown strategy %q", name)
+		}
+		rep, err := chronos.Simulate(chronos.SimConfig{
+			Strategy:     s,
+			Seed:         seed,
+			Econ:         chronos.Econ{Theta: theta, UnitPrice: price},
+			Nodes:        nodes,
+			SlotsPerNode: 8,
+		}, stream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %-8.3f %-12.1f %-10.3f\n", s, rep.PoCD, rep.MeanCost, rep.Utility)
+	}
+	return nil
+}

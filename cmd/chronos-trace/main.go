@@ -1,0 +1,97 @@
+// Command chronos-trace generates, inspects, and converts synthetic
+// Google-like job traces in the CSV schema consumed by the simulator.
+//
+// Usage:
+//
+//	chronos-trace -gen -jobs 2700 -horizon 108000 -out trace.csv
+//	chronos-trace -summarize trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"chronos/internal/trace"
+)
+
+func main() {
+	var (
+		gen       = flag.Bool("gen", false, "generate a synthetic trace")
+		jobs      = flag.Int("jobs", 270, "jobs to generate")
+		horizon   = flag.Float64("horizon", 3*3600, "arrival horizon (seconds)")
+		ratio     = flag.Float64("deadline-ratio", 2, "deadline as a multiple of mean task time")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output CSV path (default stdout)")
+		summarize = flag.String("summarize", "", "CSV trace to summarize")
+	)
+	flag.Parse()
+	if err := run(*gen, *jobs, *horizon, *ratio, *seed, *out, *summarize); err != nil {
+		fmt.Fprintln(os.Stderr, "chronos-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gen bool, jobs int, horizon, ratio float64, seed uint64, out, summarize string) error {
+	switch {
+	case gen:
+		cfg := trace.DefaultGeneratorConfig()
+		cfg.Jobs = jobs
+		cfg.Horizon = horizon
+		cfg.DeadlineRatio = ratio
+		cfg.Seed = seed
+		records, err := trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return trace.WriteCSV(w, records)
+
+	case summarize != "":
+		f, err := os.Open(summarize)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		records, err := trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		printSummary(records)
+		return nil
+
+	default:
+		return fmt.Errorf("nothing to do: pass -gen or -summarize FILE")
+	}
+}
+
+func printSummary(records []trace.JobRecord) {
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	tasks := make([]int, len(records))
+	var lastArrival float64
+	for i, r := range records {
+		tasks[i] = r.NumTasks
+		if r.Arrival > lastArrival {
+			lastArrival = r.Arrival
+		}
+	}
+	sort.Ints(tasks)
+	total := trace.TotalTasks(records)
+	fmt.Printf("jobs:          %d\n", len(records))
+	fmt.Printf("tasks:         %d (min %d, median %d, max %d)\n",
+		total, tasks[0], tasks[len(tasks)/2], tasks[len(tasks)-1])
+	fmt.Printf("span:          %.1f h\n", lastArrival/3600)
+	fmt.Printf("mean job size: %.1f tasks\n", float64(total)/float64(len(records)))
+}

@@ -1,0 +1,75 @@
+// batch_budget: sharing a speculation budget across concurrent jobs.
+//
+// The paper's system model (Section III) has M jobs in the datacenter at
+// once. When the operator caps total machine time, granting a speculative
+// copy to one job means denying it to another. This example plans a mixed
+// batch — tight-deadline interactive jobs next to slack batch jobs — under
+// a range of budgets and shows where the extra attempts go.
+//
+// Run with:
+//
+//	go run ./examples/batch_budget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chronos"
+)
+
+func main() {
+	// Three concurrent jobs with very different deadline pressure.
+	jobs := []chronos.BatchJob{
+		{
+			// An interactive dashboard query: tight deadline.
+			Strategy: chronos.SpeculativeResume,
+			Params: chronos.JobParams{
+				Tasks: 20, Deadline: 60, TMin: 12, Beta: 1.3,
+				TauEst: 18, TauKill: 36,
+			},
+		},
+		{
+			// An hourly report: moderate deadline.
+			Strategy: chronos.SpeculativeResume,
+			Params: chronos.JobParams{
+				Tasks: 40, Deadline: 240, TMin: 15, Beta: 1.5,
+				TauEst: 72, TauKill: 144,
+			},
+		},
+		{
+			// A nightly batch job: slack deadline.
+			Strategy: chronos.Clone,
+			Params: chronos.JobParams{
+				Tasks: 80, Deadline: 2400, TMin: 20, Beta: 1.7,
+				TauEst: 0, TauKill: 720,
+			},
+		},
+	}
+	labels := []string{"interactive (D=60s)", "hourly (D=240s)", "nightly (D=2400s)"}
+
+	// The floor: running everything once, with no speculation at all.
+	var floor float64
+	for _, j := range jobs {
+		mt, err := chronos.ExpectedMachineTime(j.Strategy, j.Params, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		floor += mt
+	}
+	fmt.Printf("r=0 floor: %.0f machine-seconds for the whole batch\n\n", floor)
+
+	for _, headroom := range []float64{1.05, 1.2, 1.5, 2.0} {
+		budget := floor * headroom
+		plans, err := chronos.PlanBatch(jobs, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %.0f (%.0f%% headroom):\n", budget, (headroom-1)*100)
+		for i, p := range plans {
+			fmt.Printf("  %-22s r=%d  PoCD=%.4f  machine=%.0f\n",
+				labels[i], p.R, p.PoCD, p.MachineTime)
+		}
+		fmt.Println()
+	}
+}

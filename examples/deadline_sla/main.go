@@ -1,0 +1,68 @@
+// deadline_sla: budget planning against PoCD targets.
+//
+// A cloud operator offering deadline SLAs needs to answer: "to promise
+// completion-before-deadline with probability p, which strategy do I run,
+// with how many speculative copies, and what machine-time budget does that
+// imply?" This example walks the tradeoff frontier of Section V for a batch
+// analytics job at increasingly strict SLA levels.
+//
+// Run with:
+//
+//	go run ./examples/deadline_sla
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chronos"
+)
+
+func main() {
+	// A 50-task hourly reporting job with a tight 2-minute deadline on a
+	// contended cluster (Pareto tail index 1.3 — heavy stragglers).
+	job := chronos.JobParams{
+		Tasks:    50,
+		Deadline: 120,
+		TMin:     15,
+		Beta:     1.3,
+		TauEst:   36,
+		TauKill:  72,
+	}
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+
+	fmt.Println("SLA planning for a 50-task job, D = 120 s, tasks ~ Pareto(15, 1.3)")
+	fmt.Println()
+	fmt.Printf("%-8s %-22s %-4s %-10s %-12s\n", "target", "cheapest strategy", "r", "PoCD", "budget (C*s)")
+
+	for _, target := range []float64{0.90, 0.95, 0.99, 0.999, 0.9999} {
+		best := chronos.Plan{}
+		found := false
+		for _, s := range chronos.ChronosStrategies() {
+			plan, err := chronos.MinCostForPoCD(s, job, econ, target)
+			if err != nil {
+				continue // this strategy cannot reach the target
+			}
+			if !found || plan.Cost < best.Cost {
+				best, found = plan, true
+			}
+		}
+		if !found {
+			fmt.Printf("%-8.4f unreachable with any strategy\n", target)
+			continue
+		}
+		fmt.Printf("%-8.4f %-22s %-4d %-10.4f %-12.1f\n",
+			target, best.Strategy, best.R, best.PoCD, best.Cost)
+	}
+
+	// The other direction: what is the best achievable PoCD for a fixed
+	// budget? Walk the Speculative-Resume frontier.
+	fmt.Println("\nSpeculative-Resume frontier (budget -> achievable PoCD):")
+	curve, err := chronos.TradeoffCurve(chronos.SpeculativeResume, job, econ, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range curve {
+		fmt.Printf("  r=%d  budget=%8.1f  PoCD=%.5f\n", pt.R, pt.Cost, pt.PoCD)
+	}
+}

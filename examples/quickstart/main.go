@@ -1,0 +1,79 @@
+// Quickstart: plan speculative execution for one deadline-critical
+// MapReduce job, then verify the plan on the discrete-event simulator.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chronos"
+)
+
+func main() {
+	// A job of 10 parallel map tasks whose attempt execution times are
+	// heavy-tailed (Pareto with tmin = 10 s and tail index 1.5, as measured
+	// on contended clusters), with a 100 s deadline. Stragglers are
+	// detected at t = 30 s and redundant attempts pruned at t = 60 s.
+	job := chronos.JobParams{
+		Tasks:    10,
+		Deadline: 100,
+		TMin:     10,
+		Beta:     1.5,
+		TauEst:   30,
+		TauKill:  60,
+	}
+	// The economics: every 1% of PoCD is worth 100 machine-seconds of
+	// spend (theta = 1e-4 at unit price 1).
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+
+	// 1. Ask the optimizer (Algorithm 1 of the paper) for the best
+	// strategy and number of extra attempts r.
+	plan, err := chronos.OptimizeBest(job, econ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned: %s with r=%d extra attempts\n", plan.Strategy, plan.R)
+	fmt.Printf("  predicted PoCD     = %.4f\n", plan.PoCD)
+	fmt.Printf("  predicted E[cost]  = %.1f machine-seconds\n", plan.MachineTime)
+	fmt.Printf("  net utility        = %.4f\n\n", plan.Utility)
+
+	// 2. Replay 200 such jobs on the simulated cluster under that plan and
+	// compare against running with no speculation at all.
+	jobs := make([]chronos.SimJob, 200)
+	for i := range jobs {
+		jobs[i] = chronos.SimJob{
+			Tasks:    job.Tasks,
+			Deadline: job.Deadline,
+			TMin:     job.TMin,
+			Beta:     job.Beta,
+			Arrival:  float64(i) * 400,
+		}
+	}
+	cfg := chronos.SimConfig{
+		Strategy: plan.Strategy,
+		Seed:     1,
+		TauEst:   job.TauEst,
+		TauKill:  job.TauKill,
+		TauScale: chronos.TauAbsolute,
+		Econ:     econ,
+	}
+	got, err := chronos.Simulate(cfg, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Strategy = chronos.HadoopNS
+	baseline, err := chronos.Simulate(cfg, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated over %d jobs:\n", got.Jobs)
+	fmt.Printf("  %-22s PoCD=%.3f  cost=%.1f\n", plan.Strategy, got.PoCD, got.MeanCost)
+	fmt.Printf("  %-22s PoCD=%.3f  cost=%.1f\n", chronos.HadoopNS, baseline.PoCD, baseline.MeanCost)
+	fmt.Printf("\nspeculation lifted PoCD by %.0f%% for %.0f%% of the no-speculation cost\n",
+		100*(got.PoCD-baseline.PoCD), 100*got.MeanCost/baseline.MeanCost)
+}

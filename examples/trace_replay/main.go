@@ -1,0 +1,79 @@
+// trace_replay: a large-scale, trace-driven comparison.
+//
+// This example mirrors the paper's Section VII-B evaluation: generate a
+// Google-trace-like stream of MapReduce jobs (heavy-tailed task counts and
+// per-job Pareto task-time distributions, deadlines at 2x the mean task
+// time) and replay it under every strategy on the simulated datacenter,
+// reporting PoCD, cost, and net utility.
+//
+// Run with:
+//
+//	go run ./examples/trace_replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"chronos"
+)
+
+func main() {
+	stream, err := chronos.SyntheticTrace(chronos.TraceConfig{
+		Jobs:           150,
+		HorizonSeconds: 2 * 3600,
+		DeadlineRatio:  2,
+		Seed:           7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalTasks := 0
+	for _, j := range stream {
+		totalTasks += j.Tasks
+	}
+	fmt.Printf("replaying %d jobs (%d tasks) over 2 simulated hours\n\n", len(stream), totalTasks)
+
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+	results := make(map[chronos.Strategy]chronos.Report)
+	order := []chronos.Strategy{
+		chronos.HadoopNS, chronos.HadoopS, chronos.LATE, chronos.Mantri,
+		chronos.Clone, chronos.SpeculativeRestart, chronos.SpeculativeResume,
+	}
+	for _, s := range order {
+		rep, err := chronos.Simulate(chronos.SimConfig{
+			Strategy: s,
+			Seed:     7, // common random numbers across strategies
+			Econ:     econ,
+			// Ample capacity, as in the paper's trace-driven simulator:
+			// large jobs (up to 2000 tasks) plus their clones must not
+			// serialize behind each other.
+			Nodes:        2048,
+			SlotsPerNode: 8,
+		}, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[s] = rep
+	}
+
+	fmt.Printf("%-22s %-8s %-12s %-10s\n", "strategy", "PoCD", "mean cost", "utility")
+	for _, s := range order {
+		rep := results[s]
+		fmt.Printf("%-22s %-8.3f %-12.1f %-10.3f\n", s, rep.PoCD, rep.MeanCost, rep.Utility)
+	}
+
+	// The distribution of optimizer-chosen r for the work-preserving
+	// strategy (the Figure 5 view).
+	resume := results[chronos.SpeculativeResume]
+	var rs []int
+	for r := range resume.RHistogram {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	fmt.Println("\nSpeculative-Resume optimal-r distribution:")
+	for _, r := range rs {
+		fmt.Printf("  r=%d: %d jobs\n", r, resume.RHistogram[r])
+	}
+}

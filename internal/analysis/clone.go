@@ -1,0 +1,55 @@
+package analysis
+
+// Clone is the analytic model of the Clone strategy: r+1 attempts of every
+// task start at time zero; at tauKill the best-progress attempt is kept and
+// the other r are killed.
+type Clone struct {
+	P Params
+}
+
+var _ Model = Clone{}
+
+// Name implements Model.
+func (Clone) Name() string { return "Clone" }
+
+// Params implements Model.
+func (c Clone) Params() Params { return c.P }
+
+// PoCD implements Theorem 1:
+//
+//	R_Clone = [1 - (tmin/D)^(beta*(r+1))]^N.
+//
+// A task misses the deadline only if all r+1 independent attempts do, each
+// with probability (tmin/D)^beta.
+func (c Clone) PoCD(r int) float64 {
+	p := c.P
+	single := p.Task.Survival(p.Deadline)
+	q := powInt(single, r+1)
+	return pocdFromTaskFailure(q, p.N)
+}
+
+// MachineTime implements Theorem 2:
+//
+//	E_Clone(T) = N * [ r*tauKill + tmin + tmin/(beta*(r+1)-1) ].
+//
+// The r killed attempts each run for tauKill; the surviving attempt is the
+// minimum of r+1 i.i.d. Pareto variables, whose mean is Lemma 1.
+func (c Clone) MachineTime(r int) float64 {
+	p := c.P
+	perTask := float64(r)*p.TauKill + p.Task.ExpectedMin(r+1)
+	return float64(p.N) * perTask
+}
+
+// Gamma implements the Theorem 8 threshold for Clone:
+//
+//	Gamma_Clone = ln(N) / (beta * ln(D/tmin)) - 1,
+//
+// i.e. PoCD is concave in r exactly when the per-task failure probability
+// (tmin/D)^(beta*(r+1)) has dropped below 1/N.
+func (c Clone) Gamma() float64 {
+	p := c.P
+	// Failure probability q(r) = A * rho^(r+c) with A=1, rho=(tmin/D)^beta,
+	// c=1; concave iff q < 1/N.
+	rho := p.Task.Survival(p.Deadline)
+	return concavityThreshold(1, rho, 1, p.N)
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// PoCD is a point evaluation of the job completion-time distribution:
+// R(r) = P(T_job <= D). Because every strategy's closed form holds for any
+// deadline value, re-evaluating the model at deadline t yields the full CDF
+// F(t) = P(T_job <= t) — the distributional view behind SLA quantiles
+// ("what deadline can I promise at the 99th percentile?").
+
+// CompletionCDF returns F(t) = P(job completes by t) for the strategy model
+// at the given r. The control instants tauEst/tauKill stay fixed (they are
+// schedule parameters, not functions of the queried t); t values at or
+// below tauKill fall back to the no-speculation bound for reactive
+// strategies, and 0 below tmin.
+func CompletionCDF(m Model, r int, t float64) float64 {
+	p := m.Params()
+	if t <= p.Task.TMin {
+		return 0
+	}
+	q := p
+	q.Deadline = t
+	// Keep the schedule valid for the shifted-deadline evaluation: if the
+	// queried t precedes the kill instant, the speculative machinery has
+	// not produced a survivor yet; the completion probability is governed
+	// by the original attempts alone (Clone's r+1 clones still count).
+	if t <= q.TauKill {
+		q.TauEst = 0
+		q.TauKill = 0
+		switch m.(type) {
+		case Clone:
+			return Clone{P: q}.PoCD(r)
+		default:
+			return Clone{P: q}.PoCD(0) // only originals are running
+		}
+	}
+	return NewModel(strategyOf(m), q).PoCD(r)
+}
+
+// CompletionQuantile returns the smallest t with CompletionCDF >= prob, via
+// bisection on the monotone CDF. Returns +Inf for prob >= 1 and tmin for
+// prob <= 0.
+func CompletionQuantile(m Model, r int, prob float64) float64 {
+	p := m.Params()
+	if prob <= 0 {
+		return p.Task.TMin
+	}
+	if prob >= 1 {
+		return math.Inf(1)
+	}
+	// Bracket: the CDF is 0 at tmin and approaches 1; grow the upper
+	// bound geometrically.
+	lo, hi := p.Task.TMin, math.Max(p.Deadline, 2*p.Task.TMin)
+	for CompletionCDF(m, r, hi) < prob {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if CompletionCDF(m, r, mid) >= prob {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// DeadlineForPoCD returns the tightest deadline the strategy can promise at
+// the target PoCD with r extra attempts — the SLA-quoting direction.
+func DeadlineForPoCD(m Model, r int, target float64) float64 {
+	return CompletionQuantile(m, r, target)
+}
+
+// EmpiricalCDF builds a step CDF from samples (e.g. measured job completion
+// times) for comparison against the analytic curve.
+type EmpiricalCDF struct {
+	sorted []float64
+}
+
+// NewEmpiricalCDF copies and sorts the samples.
+func NewEmpiricalCDF(samples []float64) EmpiricalCDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return EmpiricalCDF{sorted: s}
+}
+
+// At returns the empirical P(X <= t).
+func (e EmpiricalCDF) At(t float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, t)
+	// SearchFloat64s finds the first index >= t; include equal values.
+	for i < len(e.sorted) && e.sorted[i] == t {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample count.
+func (e EmpiricalCDF) N() int { return len(e.sorted) }
+
+// KolmogorovDistance returns the maximum absolute gap between the empirical
+// CDF and a reference CDF evaluated at the sample points — the KS statistic
+// used by the validation tests to compare simulation and theory.
+func (e EmpiricalCDF) KolmogorovDistance(ref func(float64) float64) float64 {
+	worst := 0.0
+	n := float64(len(e.sorted))
+	for i, x := range e.sorted {
+		r := ref(x)
+		// Compare against both step edges.
+		if d := math.Abs(float64(i)/n - r); d > worst {
+			worst = d
+		}
+		if d := math.Abs(float64(i+1)/n - r); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"chronos/internal/pareto"
+)
+
+func TestCompletionCDFMatchesPoCDAtDeadline(t *testing.T) {
+	p := testParams()
+	for _, s := range Strategies() {
+		m := NewModel(s, p)
+		for r := 0; r <= 3; r++ {
+			if got, want := CompletionCDF(m, r, p.Deadline), m.PoCD(r); math.Abs(got-want) > 1e-12 {
+				t.Errorf("%v r=%d: CDF(D) = %v, PoCD = %v", s, r, got, want)
+			}
+		}
+	}
+}
+
+func TestCompletionCDFMonotone(t *testing.T) {
+	p := testParams()
+	for _, s := range Strategies() {
+		m := NewModel(s, p)
+		prev := -1.0
+		for _, x := range []float64{5, 10, 20, 40, 61, 80, 100, 200, 1000, 1e6} {
+			got := CompletionCDF(m, 2, x)
+			if got < prev-1e-12 {
+				t.Errorf("%v: CDF not monotone at t=%v: %v < %v", s, x, got, prev)
+			}
+			if got < 0 || got > 1 {
+				t.Errorf("%v: CDF(%v) = %v", s, x, got)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestCompletionCDFEdges(t *testing.T) {
+	m := Clone{P: testParams()}
+	if got := CompletionCDF(m, 1, 5); got != 0 {
+		t.Errorf("CDF below tmin = %v, want 0", got)
+	}
+	if got := CompletionCDF(m, 1, 1e9); got < 0.999999 {
+		t.Errorf("CDF at huge t = %v, want ~1", got)
+	}
+}
+
+func TestCompletionQuantileInvertsCDF(t *testing.T) {
+	// The modeled CDF jumps at tauKill for the reactive strategies (the
+	// speculative survivor appears there), so the quantile is the smallest
+	// t with CDF(t) >= prob — it need not hit prob exactly.
+	p := testParams()
+	for _, s := range Strategies() {
+		m := NewModel(s, p)
+		for _, prob := range []float64{0.5, 0.9, 0.99} {
+			q := CompletionQuantile(m, 2, prob)
+			if got := CompletionCDF(m, 2, q); got < prob-1e-6 {
+				t.Errorf("%v: CDF(quantile(%v)) = %v below target", s, prob, got)
+			}
+			// Minimality: just below q the CDF is still under the target.
+			if below := CompletionCDF(m, 2, q*(1-1e-3)); below > prob+1e-6 {
+				t.Errorf("%v: CDF just below quantile(%v) = %v already meets target",
+					s, prob, below)
+			}
+		}
+	}
+}
+
+func TestCompletionQuantileEdges(t *testing.T) {
+	m := Resume{P: testParams()}
+	if got := CompletionQuantile(m, 1, 0); got != m.P.Task.TMin {
+		t.Errorf("quantile(0) = %v, want tmin", got)
+	}
+	if got := CompletionQuantile(m, 1, 1); !math.IsInf(got, 1) {
+		t.Errorf("quantile(1) = %v, want +Inf", got)
+	}
+}
+
+func TestDeadlineForPoCDIsSufficient(t *testing.T) {
+	p := testParams()
+	m := NewModel(StrategyResume, p)
+	d := DeadlineForPoCD(m, 2, 0.999)
+	// Promise that deadline: the PoCD at it must reach the target.
+	if got := CompletionCDF(m, 2, d); got < 0.999-1e-6 {
+		t.Errorf("promised deadline %v only reaches PoCD %v", d, got)
+	}
+	// More extra attempts tighten the quotable deadline.
+	if d4 := DeadlineForPoCD(m, 4, 0.999); d4 > d+1e-9 {
+		t.Errorf("deadline with r=4 (%v) looser than with r=2 (%v)", d4, d)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	e := NewEmpiricalCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	var empty EmpiricalCDF
+	if empty.At(5) != 0 {
+		t.Error("empty CDF not 0")
+	}
+}
+
+// TestAnalyticCDFAgainstMonteCarlo draws full job completion times from the
+// Clone model and checks the analytic CDF with a KS-style bound.
+func TestAnalyticCDFAgainstMonteCarlo(t *testing.T) {
+	p := testParams()
+	m := Clone{P: p}
+	const r = 1
+	rng := pareto.NewStream(77)
+	const jobs = 20000
+	samples := make([]float64, jobs)
+	for j := range samples {
+		jobMax := 0.0
+		for task := 0; task < p.N; task++ {
+			w := math.Inf(1)
+			for k := 0; k <= r; k++ {
+				if x := p.Task.Sample(rng); x < w {
+					w = x
+				}
+			}
+			if w > jobMax {
+				jobMax = w
+			}
+		}
+		samples[j] = jobMax
+	}
+	e := NewEmpiricalCDF(samples)
+	// Evaluate only beyond tauKill, where the full closed form applies.
+	dist := e.KolmogorovDistance(func(x float64) float64 {
+		if x <= p.TauKill {
+			return e.At(x) // skip the region the analytic CDF approximates
+		}
+		return CompletionCDF(m, r, x)
+	})
+	if dist > 0.02 {
+		t.Errorf("KS distance between analytic and simulated CDF = %v", dist)
+	}
+}

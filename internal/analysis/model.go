@@ -1,0 +1,76 @@
+package analysis
+
+// Model is the analytic interface shared by the three Chronos strategies.
+// PoCD and MachineTime are the two sides of the paper's tradeoff; Gamma is
+// the Theorem 8 concavity threshold consumed by the optimizer.
+type Model interface {
+	// Name returns the canonical strategy name ("Clone",
+	// "Speculative-Restart", "Speculative-Resume").
+	Name() string
+	// PoCD returns the probability that the job completes before its
+	// deadline when r extra attempts are used (Theorems 1, 3, 5).
+	PoCD(r int) float64
+	// MachineTime returns the expected total machine running time of the
+	// job (the execution-cost side of the tradeoff; Theorems 2, 4, 6).
+	MachineTime(r int) float64
+	// Gamma returns the threshold above which PoCD — and hence the net
+	// utility — is concave in r (Theorem 8).
+	Gamma() float64
+	// Params exposes the underlying analytic parameters.
+	Params() Params
+}
+
+// Strategy enumerates the analyzable strategies.
+type Strategy int
+
+// The three Chronos strategies.
+const (
+	StrategyClone Strategy = iota + 1
+	StrategyRestart
+	StrategyResume
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyClone:
+		return "Clone"
+	case StrategyRestart:
+		return "Speculative-Restart"
+	case StrategyResume:
+		return "Speculative-Resume"
+	default:
+		return "Unknown"
+	}
+}
+
+// NewModel constructs the analytic model for a strategy.
+func NewModel(s Strategy, p Params) Model {
+	switch s {
+	case StrategyClone:
+		return Clone{P: p}
+	case StrategyRestart:
+		return Restart{P: p}
+	case StrategyResume:
+		return Resume{P: p}
+	default:
+		panic("analysis: unknown strategy")
+	}
+}
+
+// Strategies lists the three Chronos strategies in paper order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyClone, StrategyRestart, StrategyResume}
+}
+
+// HadoopNSPoCD returns the PoCD of default Hadoop without speculation: every
+// task has a single attempt, so this is the Clone formula at r = 0.
+func HadoopNSPoCD(p Params) float64 {
+	return Clone{P: p}.PoCD(0)
+}
+
+// HadoopNSMachineTime returns the expected machine time without speculation:
+// N times the unconditional Pareto mean.
+func HadoopNSMachineTime(p Params) float64 {
+	return float64(p.N) * p.Task.Mean()
+}

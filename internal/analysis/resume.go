@@ -1,0 +1,77 @@
+package analysis
+
+import "math"
+
+// Resume is the analytic model of the Speculative-Resume strategy: stragglers
+// detected at tauEst are killed, and r+1 fresh attempts continue from the
+// last processed byte offset, i.e. they only process the remaining (1-phi)
+// fraction of the split.
+type Resume struct {
+	P Params
+}
+
+var _ Model = Resume{}
+
+// Name implements Model.
+func (Resume) Name() string { return "Speculative-Resume" }
+
+// Params implements Model.
+func (s Resume) Params() Params { return s.P }
+
+// PoCD implements Theorem 5:
+//
+//	R_S-Resume = [1 - (1-phi)^(beta*(r+1)) * tmin^(beta*(r+2)) /
+//	                  (D^beta * (D-tauEst)^(beta*(r+1)))]^N.
+//
+// The original misses with probability (tmin/D)^beta; each resumed attempt
+// processes (1-phi) of the work, so its remaining time is (1-phi)*T and it
+// misses with probability ((1-phi)*tmin/(D-tauEst))^beta; the task misses
+// only if the original was a straggler and all r+1 resumed attempts miss.
+func (s Resume) PoCD(r int) float64 {
+	p := s.P
+	phi := p.phi()
+	failOrig := p.Task.Survival(p.Deadline)
+	remaining := p.Task.Scaled(1 - phi)
+	failExtra := clampProb(remaining.Survival(p.Deadline - p.TauEst))
+	if p.Deadline-p.TauEst <= remaining.TMin {
+		failExtra = 1
+	}
+	q := failOrig * powInt(failExtra, r+1)
+	return pocdFromTaskFailure(q, p.N)
+}
+
+// MachineTime implements Theorem 6. The non-straggler branch matches
+// Theorem 4; for a straggler, the original runs until tauEst, r resumed
+// attempts run from tauEst to tauKill and are killed, and the survivor is
+// the minimum of r+1 i.i.d. copies of (1-phi)*T:
+//
+//	E(Tj | T1>D) = tauEst + r*(tauKill-tauEst)
+//	             + tmin*(1-phi)^(beta*(r+1)) / (beta*(r+1)-1) + tmin.
+func (s Resume) MachineTime(r int) float64 {
+	p := s.P
+	phi := p.phi()
+	pMiss := p.Task.Survival(p.Deadline)
+	meanHit := p.Task.MeanBelow(p.Deadline)
+
+	if r < 0 {
+		r = 0
+	}
+	b := p.Task.Beta
+	brp := b * float64(r+1)
+	survivor := p.Task.TMin + p.Task.TMin*math.Pow(1-phi, brp)/(brp-1)
+	straggler := p.TauEst + float64(r)*(p.TauKill-p.TauEst) + survivor
+
+	perTask := meanHit*(1-pMiss) + straggler*pMiss
+	return float64(p.N) * perTask
+}
+
+// Gamma implements the Theorem 8 threshold for Speculative-Resume (see the
+// note in gamma.go about the sign typo in the published Eq. 29).
+func (s Resume) Gamma() float64 {
+	p := s.P
+	phi := p.phi()
+	a := p.Task.Survival(p.Deadline)
+	remaining := p.Task.Scaled(1 - phi)
+	rho := clampProb(remaining.Survival(p.Deadline - p.TauEst))
+	return concavityThreshold(a, rho, 1, p.N)
+}

@@ -1,0 +1,240 @@
+// Package cluster models the datacenter substrate Chronos schedules on:
+// nodes with a fixed number of container slots, a FIFO allocation queue, a
+// usage meter that converts container occupancy into machine time and cost
+// (spot pricing), background resource contention that slows attempts down,
+// and optional node-failure injection.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"chronos/internal/pareto"
+	"chronos/internal/sim"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of worker nodes.
+	Nodes int
+	// SlotsPerNode is the number of concurrently running containers a node
+	// supports (vCPUs in the paper's EC2 testbed: 8).
+	SlotsPerNode int
+	// Contention injects background load: an attempt placed on a node runs
+	// slower by a sampled slowdown factor. Nil means no contention.
+	Contention ContentionModel
+	// Seed drives the contention randomness.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.SlotsPerNode < 1 {
+		return fmt.Errorf("cluster: need at least 1 node and 1 slot, got %d x %d",
+			c.Nodes, c.SlotsPerNode)
+	}
+	return nil
+}
+
+// Node is one worker machine.
+type Node struct {
+	// ID is the node index.
+	ID int
+
+	slots  int
+	used   int
+	failed bool
+	// live tracks outstanding containers, for failure revocation.
+	live map[*Container]struct{}
+}
+
+// Slots returns the node's container capacity.
+func (n *Node) Slots() int { return n.slots }
+
+// Used returns the number of occupied slots.
+func (n *Node) Used() int { return n.used }
+
+// Failed reports whether the node has been failed by injection.
+func (n *Node) Failed() bool { return n.failed }
+
+// Container is a granted slot on a node. It is leased from Allocate/Request
+// and returned with Release.
+type Container struct {
+	// Node hosting this container.
+	Node *Node
+	// AcquiredAt is the grant time, used by the meter.
+	AcquiredAt float64
+	// Slowdown is the contention factor sampled at grant time; execution on
+	// this container takes Slowdown times the intrinsic duration.
+	Slowdown float64
+
+	onRevoke func()
+	released bool
+}
+
+// ErrNoCapacity reports a synchronous allocation failure.
+var ErrNoCapacity = errors.New("cluster: no free container")
+
+// Cluster tracks slot occupancy, the allocation wait queue, machine-time
+// metering, and failure state.
+type Cluster struct {
+	cfg   Config
+	eng   *sim.Engine
+	nodes []*Node
+	// waiters holds pending Request callbacks, FIFO.
+	waiters []func(*Container)
+	meter   Meter
+	rng     randState
+}
+
+// randState derives a fresh sub-seed per draw, keeping contention sampling
+// deterministic without sharing a stream with the workload.
+type randState struct {
+	seed uint64
+	n    uint64
+}
+
+func (r *randState) next() uint64 {
+	r.n++
+	return pareto.DeriveSeed(r.seed, r.n)
+}
+
+// New builds a cluster bound to the engine.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		eng:   eng,
+		nodes: make([]*Node, cfg.Nodes),
+		rng:   randState{seed: cfg.Seed},
+	}
+	for i := range c.nodes {
+		c.nodes[i] = &Node{ID: i, slots: cfg.SlotsPerNode, live: make(map[*Container]struct{})}
+	}
+	return c, nil
+}
+
+// Meter exposes the usage meter.
+func (c *Cluster) Meter() *Meter { return &c.meter }
+
+// Capacity returns the total number of slots on live nodes.
+func (c *Cluster) Capacity() int {
+	total := 0
+	for _, n := range c.nodes {
+		if !n.failed {
+			total += n.slots
+		}
+	}
+	return total
+}
+
+// InUse returns the number of occupied slots.
+func (c *Cluster) InUse() int {
+	used := 0
+	for _, n := range c.nodes {
+		used += n.used
+	}
+	return used
+}
+
+// Nodes returns the node list (shared; callers must not mutate).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Allocate grants a container immediately or returns ErrNoCapacity. Nodes
+// are filled least-loaded first, mirroring a spreading scheduler.
+func (c *Cluster) Allocate() (*Container, error) {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.failed || n.used >= n.slots {
+			continue
+		}
+		if best == nil || n.used < best.used {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	best.used++
+	slow := 1.0
+	if c.cfg.Contention != nil {
+		slow = c.cfg.Contention.Slowdown(c.eng.Now(), best.ID, c.rng.next())
+	}
+	ctr := &Container{Node: best, AcquiredAt: c.eng.Now(), Slowdown: slow}
+	best.live[ctr] = struct{}{}
+	return ctr, nil
+}
+
+// Request grants a container to fn as soon as one is available: immediately
+// if there is capacity, otherwise when a container is released (FIFO).
+func (c *Cluster) Request(fn func(*Container)) {
+	if ctr, err := c.Allocate(); err == nil {
+		fn(ctr)
+		return
+	}
+	c.waiters = append(c.waiters, fn)
+}
+
+// QueueLength returns the number of waiting allocation requests.
+func (c *Cluster) QueueLength() int { return len(c.waiters) }
+
+// Release returns a container and charges its occupancy to the meter.
+// Double release panics: it is always an accounting bug.
+func (c *Cluster) Release(ctr *Container) {
+	if ctr.released {
+		panic("cluster: double release of container")
+	}
+	ctr.released = true
+	c.meter.charge(c.eng.Now() - ctr.AcquiredAt)
+	delete(ctr.Node.live, ctr)
+	if !ctr.Node.failed {
+		ctr.Node.used--
+	}
+	c.dispatch()
+}
+
+// dispatch hands freed capacity to waiting requests.
+func (c *Cluster) dispatch() {
+	for len(c.waiters) > 0 {
+		ctr, err := c.Allocate()
+		if err != nil {
+			return
+		}
+		fn := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		fn(ctr)
+	}
+}
+
+// SetRevokeHandler registers fn to run if the container's node fails while
+// the container is held. The handler must Release the container (usage up to
+// the failure instant is charged normally).
+func (ctr *Container) SetRevokeHandler(fn func()) { ctr.onRevoke = fn }
+
+// FailNode marks a node failed and revokes its outstanding containers via
+// their revoke handlers. Returns the number of revoked containers.
+func (c *Cluster) FailNode(id int) (int, error) {
+	if id < 0 || id >= len(c.nodes) {
+		return 0, fmt.Errorf("cluster: no node %d", id)
+	}
+	n := c.nodes[id]
+	if n.failed {
+		return 0, nil
+	}
+	n.failed = true
+	revoked := 0
+	// Collect first: revoke handlers mutate n.live via Release.
+	victims := make([]*Container, 0, len(n.live))
+	for ctr := range n.live {
+		victims = append(victims, ctr)
+	}
+	for _, ctr := range victims {
+		revoked++
+		if ctr.onRevoke != nil {
+			ctr.onRevoke()
+		}
+	}
+	return revoked, nil
+}

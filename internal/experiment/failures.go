@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"chronos/internal/cluster"
+	"chronos/internal/mapreduce"
+	"chronos/internal/metrics"
+	"chronos/internal/optimize"
+	"chronos/internal/sim"
+	"chronos/internal/speculate"
+	"chronos/internal/workload"
+)
+
+// The failure-resilience experiment is an extension beyond the paper's
+// tables: Section VII closes by noting that "S-Resume may not be possible in
+// certain (extreme) scenarios such as system breakdown or VM crash, where
+// only S-Restart is feasible". This experiment quantifies that remark by
+// sweeping node MTBF and measuring how each strategy's PoCD and cost degrade
+// when attempts are lost to node failures (all strategies here recover by
+// relaunching from scratch — resume state dies with the node).
+
+// FailureConfig parameterizes the sweep.
+type FailureConfig struct {
+	// MTBFs are the per-node mean-time-between-failures points (seconds);
+	// 0 means no failures (the baseline column).
+	MTBFs []float64
+	// MTTR is the mean repair time (seconds).
+	MTTR float64
+	// Jobs and Tasks shape the batch per point.
+	Jobs, Tasks int
+	// Benchmark selects the workload profile.
+	Benchmark workload.Profile
+	// TauEst, TauKill, Theta, UnitPrice configure the Chronos strategies.
+	TauEst, TauKill  float64
+	Theta, UnitPrice float64
+}
+
+// DefaultFailureConfig sweeps from a stable cluster to one failing every
+// few minutes per node.
+func DefaultFailureConfig() FailureConfig {
+	return FailureConfig{
+		MTBFs:     []float64{0, 3600, 900, 300},
+		MTTR:      60,
+		Jobs:      100,
+		Tasks:     10,
+		Benchmark: workload.Sort,
+		TauEst:    40,
+		TauKill:   80,
+		Theta:     1e-4,
+		UnitPrice: 1,
+	}
+}
+
+// FailureRow is one (MTBF, strategy) cell.
+type FailureRow struct {
+	MTBF     float64
+	Strategy string
+	PoCD     float64
+	Cost     float64
+	// Relaunches counts attempts lost to node failures across the batch.
+	Relaunches int
+}
+
+// RunFailures executes the sweep over Hadoop-NS, S-Restart and S-Resume.
+func RunFailures(r Runner, cfg FailureConfig) ([]FailureRow, error) {
+	ccfg := speculate.ChronosConfig{
+		TauEst:  cfg.TauEst,
+		TauKill: cfg.TauKill,
+		Opt:     optimize.Config{Theta: cfg.Theta, UnitPrice: cfg.UnitPrice},
+		FixedR:  -1,
+	}
+	strategies := []mapreduce.Strategy{
+		speculate.HadoopNS{},
+		speculate.Restart{Config: ccfg},
+		speculate.Resume{Config: ccfg},
+	}
+	var rows []FailureRow
+	for _, mtbf := range cfg.MTBFs {
+		for _, strat := range strategies {
+			row, err := runFailureCell(r, cfg, mtbf, strat)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runFailureCell executes one batch under one failure intensity. It builds
+// the harness inline (rather than via Runner.run) because the injector must
+// be installed on the cluster before jobs arrive.
+func runFailureCell(r Runner, cfg FailureConfig, mtbf float64, strat mapreduce.Strategy) (FailureRow, error) {
+	eng := sim.NewEngine()
+	cl, err := cluster.New(eng, cluster.Config{
+		Nodes:        r.Nodes,
+		SlotsPerNode: r.SlotsPerNode,
+		Seed:         r.Seed ^ 0xC10C0,
+	})
+	if err != nil {
+		return FailureRow{}, err
+	}
+	rt := mapreduce.NewRuntime(eng, cl, mapreduce.Config{Seed: r.Seed})
+
+	spacing := cfg.Benchmark.Deadline * 4
+	if mtbf > 0 {
+		cluster.FailureInjector{
+			MTBF:    mtbf,
+			MTTR:    cfg.MTTR,
+			Horizon: float64(cfg.Jobs) * spacing * 2,
+			Seed:    r.Seed ^ 0xFA11,
+		}.Install(eng, cl)
+	}
+
+	var jobs []*mapreduce.Job
+	for i := 0; i < cfg.Jobs; i++ {
+		spec := cfg.Benchmark.JobSpec(i, cfg.Tasks, cfg.UnitPrice, float64(i)*spacing)
+		job, err := rt.Submit(spec, strat)
+		if err != nil {
+			return FailureRow{}, err
+		}
+		jobs = append(jobs, job)
+	}
+	eng.Run()
+
+	stats := metrics.NewStrategyStats(strat.Name())
+	relaunches := 0
+	for _, j := range jobs {
+		if !j.Done {
+			return FailureRow{}, errIncomplete(strat.Name(), j.Spec.ID)
+		}
+		stats.Observe(j)
+		for _, t := range j.Tasks {
+			for _, a := range t.Attempts {
+				if a.State == mapreduce.AttemptFailed {
+					relaunches++
+				}
+			}
+		}
+	}
+	return FailureRow{
+		MTBF:       mtbf,
+		Strategy:   strat.Name(),
+		PoCD:       stats.PoCD(),
+		Cost:       stats.MeanCost(),
+		Relaunches: relaunches,
+	}, nil
+}
+
+// errIncomplete formats the stuck-job error.
+func errIncomplete(strategy string, jobID int) error {
+	return &incompleteJobError{strategy: strategy, jobID: jobID}
+}
+
+type incompleteJobError struct {
+	strategy string
+	jobID    int
+}
+
+func (e *incompleteJobError) Error() string {
+	return "experiment: job did not complete under failures: " + e.strategy
+}
+
+// FailureTable renders the sweep.
+func FailureTable(rows []FailureRow) *metrics.Table {
+	t := metrics.NewTable("MTBF(s)", "Strategy", "PoCD", "Cost", "Lost attempts")
+	for _, row := range rows {
+		mtbf := "none"
+		if row.MTBF > 0 {
+			mtbf = metrics.FormatFloat(row.MTBF, 0)
+		}
+		t.AddRow(mtbf, row.Strategy,
+			metrics.FormatFloat(row.PoCD, 3),
+			metrics.FormatFloat(row.Cost, 1),
+			metrics.FormatFloat(float64(row.Relaunches), 0))
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+// Package experiment contains one driver per table and figure of the
+// paper's evaluation (Section VII). Each driver builds the workload, runs
+// every strategy on a common-random-numbers simulation, and returns rows
+// matching the paper's reported series:
+//
+//	Figure 2  — PoCD / Cost / Utility per benchmark (testbed experiment)
+//	Table I   — sweep of tauEst with tauKill - tauEst fixed
+//	Table II  — sweep of tauKill with tauEst fixed
+//	Figure 3  — PoCD / Cost / Utility vs tradeoff factor theta (trace-driven)
+//	Figure 4  — PoCD / Cost / Utility vs Pareto tail index beta
+//	Figure 5  — histogram of the optimal r for Clone and S-Resume
+package experiment
+
+import (
+	"fmt"
+
+	"chronos/internal/cluster"
+	"chronos/internal/mapreduce"
+	"chronos/internal/metrics"
+	"chronos/internal/sim"
+)
+
+// Runner holds the cluster-shape and seeding shared by all experiments.
+type Runner struct {
+	// Nodes and SlotsPerNode size the simulated cluster. The defaults
+	// (DefaultRunner) keep capacity ample, matching the paper's
+	// trace-driven simulator.
+	Nodes        int
+	SlotsPerNode int
+	// Contention optionally injects background load (the "Stress"
+	// emulation of the testbed experiments).
+	Contention cluster.ContentionModel
+	// ReportInterval and ReportNoise configure the AM's progress
+	// observation (periodic, noisy reports, as in real Hadoop); zeros mean
+	// continuous exact observation.
+	ReportInterval, ReportNoise float64
+	// Seed drives all randomness; two runs with equal seeds are identical,
+	// and all strategies see common random numbers.
+	Seed uint64
+}
+
+// DefaultRunner returns a generously provisioned, uncontended cluster.
+func DefaultRunner() Runner {
+	return Runner{Nodes: 512, SlotsPerNode: 8, Seed: 1}
+}
+
+// submission pairs a job spec with the strategy instance driving it
+// (strategies may be configured per job, e.g. job-relative tauEst).
+type submission struct {
+	spec  mapreduce.JobSpec
+	strat mapreduce.Strategy
+}
+
+// run executes one batch of submissions and aggregates outcomes.
+func (r Runner) run(name string, subs []submission) (*metrics.StrategyStats, error) {
+	if r.Nodes < 1 || r.SlotsPerNode < 1 {
+		return nil, fmt.Errorf("experiment: bad cluster shape %dx%d", r.Nodes, r.SlotsPerNode)
+	}
+	eng := sim.NewEngine()
+	cl, err := cluster.New(eng, cluster.Config{
+		Nodes:        r.Nodes,
+		SlotsPerNode: r.SlotsPerNode,
+		Contention:   r.Contention,
+		Seed:         r.Seed ^ 0xC10C0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := mapreduce.NewRuntime(eng, cl, mapreduce.Config{
+		Seed:           r.Seed,
+		ReportInterval: r.ReportInterval,
+		ReportNoise:    r.ReportNoise,
+	})
+	jobs := make([]*mapreduce.Job, 0, len(subs))
+	for _, sub := range subs {
+		job, err := rt.Submit(sub.spec, sub.strat)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	eng.Run()
+
+	stats := metrics.NewStrategyStats(name)
+	for _, j := range jobs {
+		if !j.Done {
+			return nil, fmt.Errorf("experiment: job %d (%s) did not complete", j.Spec.ID, name)
+		}
+		stats.Observe(j)
+	}
+	return stats, nil
+}

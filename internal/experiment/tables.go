@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"chronos/internal/mapreduce"
+	"chronos/internal/metrics"
+	"chronos/internal/optimize"
+	"chronos/internal/speculate"
+	"chronos/internal/trace"
+)
+
+// TableConfig parameterizes the Table I / Table II sweeps. Both tables come
+// from the trace-driven simulation; tauEst and tauKill are expressed as
+// multiples of each job's tmin, per the paper.
+type TableConfig struct {
+	// Trace shapes the synthetic job stream.
+	Trace trace.GeneratorConfig
+	// Theta and RMin configure the measured-utility computation.
+	Theta float64
+	RMin  float64
+	// UnitPrice is the per-machine-second VM price C (e.g. the mean of a
+	// generated spot series).
+	UnitPrice float64
+}
+
+// DefaultTableConfig mirrors the paper's simulation at reduced scale.
+func DefaultTableConfig() TableConfig {
+	return TableConfig{
+		Trace:     scaledTrace(120),
+		Theta:     1e-5,
+		UnitPrice: 1,
+	}
+}
+
+// scaledTrace returns the default generator shrunk to n jobs with modest
+// task counts, keeping unit tests and benchmarks fast.
+func scaledTrace(n int) trace.GeneratorConfig {
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Jobs = n
+	cfg.MaxTasks = 100
+	return cfg
+}
+
+// TableRow is one row of Table I or Table II.
+type TableRow struct {
+	Strategy string
+	// TauEstFactor and TauKillFactor are the sweep coordinates, in units
+	// of each job's tmin.
+	TauEstFactor, TauKillFactor float64
+	PoCD                        float64
+	Cost                        float64
+	Utility                     float64
+}
+
+// RunTable1 reproduces Table I: varying tauEst with tauKill - tauEst fixed
+// at 0.5*tmin. Clone has only tauEst = 0; S-Restart and S-Resume sweep
+// tauEst in {0.1, 0.3, 0.5}*tmin.
+func RunTable1(r Runner, cfg TableConfig) ([]TableRow, error) {
+	jobs, err := trace.Generate(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableRow
+
+	// Clone: tauEst fixed at 0, tauKill = 0.5*tmin.
+	row, err := runTableCell(r, cfg, jobs, "Clone", 0, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	for _, name := range []string{"Speculative-Restart", "Speculative-Resume"} {
+		for _, estFactor := range []float64{0.1, 0.3, 0.5} {
+			row, err := runTableCell(r, cfg, jobs, name, estFactor, estFactor+0.5)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunTable2 reproduces Table II: varying tauKill with tauEst fixed. Clone
+// sweeps tauKill in {0.4, 0.6, 0.8}*tmin at tauEst = 0; the speculative
+// strategies use tauEst = 0.3*tmin.
+func RunTable2(r Runner, cfg TableConfig) ([]TableRow, error) {
+	jobs, err := trace.Generate(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableRow
+	for _, killFactor := range []float64{0.4, 0.6, 0.8} {
+		row, err := runTableCell(r, cfg, jobs, "Clone", 0, killFactor)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, name := range []string{"Speculative-Restart", "Speculative-Resume"} {
+		for _, killFactor := range []float64{0.4, 0.6, 0.8} {
+			row, err := runTableCell(r, cfg, jobs, name, 0.3, killFactor)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runTableCell executes one (strategy, tauEst, tauKill) sweep point over
+// the whole trace.
+func runTableCell(r Runner, cfg TableConfig, jobs []trace.JobRecord,
+	strategy string, estFactor, killFactor float64) (TableRow, error) {
+
+	subs := make([]submission, len(jobs))
+	for i, rec := range jobs {
+		spec := traceSpec(rec, cfg.UnitPrice)
+		ccfg := speculate.ChronosConfig{
+			TauEst:  estFactor * rec.Dist.TMin,
+			TauKill: killFactor * rec.Dist.TMin,
+			Opt:     optimize.Config{Theta: cfg.Theta, RMin: cfg.RMin, UnitPrice: cfg.UnitPrice},
+			FixedR:  -1,
+		}
+		subs[i] = submission{spec: spec, strat: chronosByName(strategy, ccfg)}
+	}
+	stats, err := r.run(strategy, subs)
+	if err != nil {
+		return TableRow{}, err
+	}
+	ucfg := optimize.Config{Theta: cfg.Theta, RMin: cfg.RMin, UnitPrice: cfg.UnitPrice}
+	return TableRow{
+		Strategy:      strategy,
+		TauEstFactor:  estFactor,
+		TauKillFactor: killFactor,
+		PoCD:          stats.PoCD(),
+		Cost:          stats.MeanCost(),
+		Utility:       stats.Utility(ucfg),
+	}, nil
+}
+
+// traceSpec converts a trace record into a submit-ready spec.
+func traceSpec(rec trace.JobRecord, price float64) mapreduce.JobSpec {
+	return mapreduce.JobSpec{
+		ID:         rec.ID,
+		Name:       "trace",
+		NumTasks:   rec.NumTasks,
+		Deadline:   rec.Deadline,
+		Dist:       rec.Dist,
+		SplitBytes: 128 << 20,
+		JVM:        mapreduce.JVMModel{Min: 1, Max: 3},
+		UnitPrice:  price,
+		Arrival:    rec.Arrival,
+	}
+}
+
+// chronosByName builds the named Chronos strategy.
+func chronosByName(name string, cfg speculate.ChronosConfig) mapreduce.Strategy {
+	switch name {
+	case "Clone":
+		return speculate.Clone{Config: cfg}
+	case "Speculative-Restart":
+		return speculate.Restart{Config: cfg}
+	case "Speculative-Resume":
+		return speculate.Resume{Config: cfg}
+	default:
+		panic("experiment: unknown Chronos strategy " + name)
+	}
+}
+
+// TableText renders sweep rows in the paper's Table I/II layout.
+func TableText(rows []TableRow) *metrics.Table {
+	t := metrics.NewTable("Strategy", "tauEst", "tauKill", "PoCD", "Cost", "Utility")
+	for _, row := range rows {
+		t.AddRow(row.Strategy,
+			metrics.FormatFloat(row.TauEstFactor, 1)+"*tmin",
+			metrics.FormatFloat(row.TauKillFactor, 1)+"*tmin",
+			metrics.FormatFloat(row.PoCD, 3),
+			metrics.FormatFloat(row.Cost, 1),
+			metrics.FormatFloat(row.Utility, 3))
+	}
+	return t
+}

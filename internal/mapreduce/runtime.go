@@ -1,0 +1,233 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"chronos/internal/cluster"
+	"chronos/internal/pareto"
+	"chronos/internal/sim"
+)
+
+// Config tunes runtime behaviour.
+type Config struct {
+	// Seed drives all workload randomness. Attempt samples are keyed by
+	// (seed, job, task, attempt index) so different strategies observe
+	// common random numbers.
+	Seed uint64
+	// KillSiblingsOnFinish, when set, kills a task's other attempts the
+	// moment one attempt finishes (what production Hadoop does). When
+	// unset, redundant attempts keep running until a strategy kills them —
+	// the accounting assumed by the paper's closed-form cost expressions.
+	KillSiblingsOnFinish bool
+	// SpotIntegral, when non-nil, prices container occupancy against a
+	// time-varying spot market: it must return the integral of the unit
+	// price over [from, to]. Jobs then accrue SpotCost and Job.Cost
+	// reports it instead of UnitPrice * MachineTime.
+	SpotIntegral func(from, to float64) float64
+	// ReportInterval, when > 0, makes estimators observe progress only
+	// through periodic reports (every ReportInterval seconds after the
+	// first report at JVM-ready), as real Hadoop AMs do. Zero means
+	// continuous exact observation.
+	ReportInterval float64
+	// ReportNoise perturbs each reported progress value multiplicatively
+	// by a relative Gaussian error (e.g. 0.1 = 10% stddev). Requires
+	// ReportInterval > 0. This reproduces the estimation inaccuracy the
+	// paper attributes to limited observation at small tauEst.
+	ReportNoise float64
+}
+
+// Runtime is the application-master-style execution core: it owns jobs,
+// launches attempts on cluster containers, tracks completions and machine
+// time, and calls into the per-job speculation strategy.
+type Runtime struct {
+	// Eng is the discrete-event engine driving the simulation.
+	Eng *sim.Engine
+	// Cluster supplies containers.
+	Cluster *cluster.Cluster
+
+	cfg  Config
+	jobs []*Job
+	// OnJobDone, if set, is invoked when a job's last task completes.
+	OnJobDone func(*Job)
+}
+
+// NewRuntime builds a runtime on the engine and cluster.
+func NewRuntime(eng *sim.Engine, cl *cluster.Cluster, cfg Config) *Runtime {
+	return &Runtime{Eng: eng, Cluster: cl, cfg: cfg}
+}
+
+// Jobs returns all submitted jobs.
+func (rt *Runtime) Jobs() []*Job { return rt.jobs }
+
+// Submit registers a job and schedules its strategy to start at the job's
+// arrival time.
+func (rt *Runtime) Submit(spec JobSpec, strat Strategy) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if strat == nil {
+		return nil, fmt.Errorf("mapreduce: job %d submitted without a strategy", spec.ID)
+	}
+	job := &Job{Spec: spec, strategy: strat, rt: rt, ChosenR: -1, ChosenReduceR: -1}
+	job.Tasks = make([]*Task, 0, spec.NumTasks+spec.Reduce.NumTasks)
+	for i := 0; i < spec.NumTasks; i++ {
+		job.Tasks = append(job.Tasks, &Task{Job: job, ID: i, Stage: StageMap})
+	}
+	for i := 0; i < spec.Reduce.NumTasks; i++ {
+		job.Tasks = append(job.Tasks, &Task{Job: job, ID: spec.NumTasks + i, Stage: StageReduce})
+	}
+	rt.jobs = append(rt.jobs, job)
+	ctl := &Controller{rt: rt, job: job}
+	rt.Eng.Schedule(spec.Arrival, func() { strat.Start(ctl) })
+	return job, nil
+}
+
+// launch creates an attempt for the task starting at startFrac of the split
+// and requests a container for it.
+func (rt *Runtime) launch(ctl *Controller, t *Task, startFrac float64) *Attempt {
+	if startFrac < 0 || startFrac >= 1 {
+		panic(fmt.Sprintf("mapreduce: launch with startFrac %v", startFrac))
+	}
+	if t.Stage == StageReduce && !t.Job.MapDone {
+		panic(fmt.Sprintf("mapreduce: job %d launched reduce task %d before map completion",
+			t.Job.Spec.ID, t.ID))
+	}
+	a := &Attempt{
+		Task:        t,
+		Index:       t.nextAttempt,
+		State:       AttemptQueued,
+		RequestTime: rt.Eng.Now(),
+		StartFrac:   startFrac,
+	}
+	t.nextAttempt++
+	t.Attempts = append(t.Attempts, a)
+
+	rt.Cluster.Request(func(ctr *cluster.Container) {
+		if a.State != AttemptQueued {
+			// Killed while waiting; hand the container straight back.
+			rt.Cluster.Release(ctr)
+			return
+		}
+		rt.startAttempt(ctl, a, ctr)
+	})
+	return a
+}
+
+// startAttempt binds a granted container to the attempt, samples its
+// execution characteristics, and schedules its completion.
+func (rt *Runtime) startAttempt(ctl *Controller, a *Attempt, ctr *cluster.Container) {
+	spec := a.Task.Job.Spec
+	stream := pareto.NewStream(rt.cfg.Seed,
+		uint64(spec.ID), uint64(a.Task.ID), uint64(a.Index))
+
+	dist := spec.Dist
+	if a.Task.Stage == StageReduce {
+		dist = spec.Reduce.Dist
+	}
+	a.State = AttemptRunning
+	a.LaunchTime = rt.Eng.Now()
+	a.JVMDelay = spec.JVM.Sample(stream)
+	a.Intrinsic = dist.Sample(stream)
+	a.Slowdown = ctr.Slowdown
+	a.container = ctr
+
+	ctr.SetRevokeHandler(func() { rt.attemptLost(ctl, a) })
+	a.finishTimer = rt.Eng.Schedule(a.FinishTime(), func() { rt.finishAttempt(ctl, a) })
+}
+
+// finishAttempt completes an attempt and, if it is the task's first
+// completion, the task (and possibly the job).
+func (rt *Runtime) finishAttempt(ctl *Controller, a *Attempt) {
+	now := rt.Eng.Now()
+	a.State = AttemptFinished
+	a.EndTime = now
+	rt.releaseAndCharge(a)
+
+	t := a.Task
+	if t.Done {
+		return
+	}
+	t.Done = true
+	t.FinishTime = now
+	job := t.Job
+	job.doneTasks++
+	if t.Stage == StageMap {
+		job.doneMapTasks++
+	}
+
+	if rt.cfg.KillSiblingsOnFinish {
+		for _, sib := range t.Attempts {
+			if sib != a {
+				rt.kill(sib)
+			}
+		}
+	}
+	if ctl.taskDone != nil {
+		ctl.taskDone(t)
+	}
+	if !job.MapDone && job.doneMapTasks == job.Spec.NumTasks {
+		job.MapDone = true
+		job.MapFinishTime = now
+		if ctl.mapStageDone != nil {
+			ctl.mapStageDone()
+		}
+	}
+	if job.doneTasks == len(job.Tasks) {
+		job.Done = true
+		job.FinishTime = now
+		if ctl.jobDone != nil {
+			ctl.jobDone()
+		}
+		if rt.OnJobDone != nil {
+			rt.OnJobDone(job)
+		}
+	}
+}
+
+// kill terminates a queued or running attempt; finished/killed/failed
+// attempts are left untouched. Returns whether the attempt was live.
+func (rt *Runtime) kill(a *Attempt) bool {
+	switch a.State {
+	case AttemptQueued:
+		a.State = AttemptKilled
+		a.EndTime = rt.Eng.Now()
+		return true
+	case AttemptRunning:
+		a.State = AttemptKilled
+		a.EndTime = rt.Eng.Now()
+		a.finishTimer.Cancel()
+		rt.releaseAndCharge(a)
+		return true
+	default:
+		return false
+	}
+}
+
+// attemptLost handles a node failure under a running attempt.
+func (rt *Runtime) attemptLost(ctl *Controller, a *Attempt) {
+	if a.State != AttemptRunning {
+		return
+	}
+	a.State = AttemptFailed
+	a.EndTime = rt.Eng.Now()
+	a.finishTimer.Cancel()
+	rt.releaseAndCharge(a)
+	if ctl.attemptLost != nil {
+		ctl.attemptLost(a)
+	}
+}
+
+// releaseAndCharge returns the attempt's container and accrues its machine
+// time (and spot cost, when spot pricing is configured) to the job.
+func (rt *Runtime) releaseAndCharge(a *Attempt) {
+	if a.container == nil {
+		return
+	}
+	job := a.Task.Job
+	job.MachineTime += rt.Eng.Now() - a.LaunchTime
+	if rt.cfg.SpotIntegral != nil {
+		job.SpotCost += rt.cfg.SpotIntegral(a.LaunchTime, rt.Eng.Now())
+	}
+	rt.Cluster.Release(a.container)
+	a.container = nil
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued observations (the optimal-r values of
+// Figure 5).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the frequency of v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Mode returns the most frequent value (smallest wins ties); ok is false
+// for an empty histogram.
+func (h *Histogram) Mode() (v int, ok bool) {
+	best, bestCount := 0, -1
+	for _, k := range h.Keys() {
+		if c := h.counts[k]; c > bestCount {
+			best, bestCount = k, c
+		}
+	}
+	return best, bestCount >= 0
+}
+
+// Keys returns the observed values in ascending order.
+func (h *Histogram) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for k, c := range h.counts {
+		sum += float64(k * c)
+	}
+	return sum / float64(h.total)
+}
+
+// String renders "v:count" pairs in ascending order.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, k := range h.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h.counts[k])
+	}
+	return b.String()
+}

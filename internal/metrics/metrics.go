@@ -1,0 +1,139 @@
+// Package metrics aggregates simulation outcomes into the three quantities
+// the paper's evaluation reports — PoCD, cost, and net utility — plus the
+// optimal-r histograms of Figure 5, and renders aligned text tables.
+package metrics
+
+import (
+	"math"
+
+	"chronos/internal/mapreduce"
+	"chronos/internal/optimize"
+)
+
+// StrategyStats accumulates per-job outcomes for one strategy.
+type StrategyStats struct {
+	// Name is the strategy label.
+	Name string
+
+	jobs        int
+	met         int
+	machineTime float64
+	cost        float64
+	rHist       *Histogram
+	finished    int
+}
+
+// NewStrategyStats returns an empty accumulator.
+func NewStrategyStats(name string) *StrategyStats {
+	return &StrategyStats{Name: name, rHist: NewHistogram()}
+}
+
+// Observe folds one completed job into the stats.
+func (s *StrategyStats) Observe(job *mapreduce.Job) {
+	s.jobs++
+	if job.Done {
+		s.finished++
+	}
+	if job.MetDeadline() {
+		s.met++
+	}
+	s.machineTime += job.MachineTime
+	s.cost += job.Cost()
+	if job.ChosenR >= 0 {
+		s.rHist.Add(job.ChosenR)
+	}
+}
+
+// Jobs returns the number of observed jobs.
+func (s *StrategyStats) Jobs() int { return s.jobs }
+
+// Finished returns the number of jobs that ran to completion.
+func (s *StrategyStats) Finished() int { return s.finished }
+
+// PoCD returns the fraction of jobs that met their deadline.
+func (s *StrategyStats) PoCD() float64 {
+	if s.jobs == 0 {
+		return 0
+	}
+	return float64(s.met) / float64(s.jobs)
+}
+
+// MeanMachineTime returns the mean per-job machine running time.
+func (s *StrategyStats) MeanMachineTime() float64 {
+	if s.jobs == 0 {
+		return 0
+	}
+	return s.machineTime / float64(s.jobs)
+}
+
+// MeanCost returns the mean per-job price-weighted cost — the "Cost" axis of
+// the paper's figures.
+func (s *StrategyStats) MeanCost() float64 {
+	if s.jobs == 0 {
+		return 0
+	}
+	return s.cost / float64(s.jobs)
+}
+
+// Utility computes the measured net utility under cfg, as the evaluation
+// does: log10(PoCD - RMin) - theta * mean cost.
+func (s *StrategyStats) Utility(cfg optimize.Config) float64 {
+	return cfg.UtilityFromMeasured(s.PoCD(), s.MeanCost())
+}
+
+// RHistogram returns the distribution of the optimizer-chosen r values
+// (Figure 5).
+func (s *StrategyStats) RHistogram() *Histogram { return s.rHist }
+
+// Summary is a snapshot row of the stats.
+type Summary struct {
+	Strategy string
+	Jobs     int
+	PoCD     float64
+	Cost     float64
+	Utility  float64
+}
+
+// Summarize snapshots the accumulator under cfg.
+func (s *StrategyStats) Summarize(cfg optimize.Config) Summary {
+	return Summary{
+		Strategy: s.Name,
+		Jobs:     s.jobs,
+		PoCD:     s.PoCD(),
+		Cost:     s.MeanCost(),
+		Utility:  s.Utility(cfg),
+	}
+}
+
+// Welford computes running mean/variance without storing samples; used for
+// the per-experiment dispersion numbers in EXPERIMENTS.md.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,89 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+
+	"chronos/internal/analysis"
+)
+
+// ErrUnreachablePoCD reports a PoCD target that no number of extra attempts
+// can reach (e.g. target 1.0, or a deadline below tmin).
+var ErrUnreachablePoCD = errors.New("optimize: PoCD target unreachable for any r")
+
+// maxInverseR bounds the inverse search; PoCD(r) converges geometrically so
+// realistic targets are reached within tens of attempts.
+const maxInverseR = 4096
+
+// MinCostForPoCD returns the cheapest configuration that meets a PoCD
+// target: because PoCD is non-decreasing and machine time strictly
+// increasing in r, the minimum-cost feasible point is the smallest r with
+// PoCD(r) >= target. This is the "user budget for desired PoCD" direction of
+// the tradeoff described in the paper's introduction.
+func MinCostForPoCD(m analysis.Model, cfg Config, target float64) (Result, error) {
+	if target <= 0 || target > 1 {
+		return Result{}, ErrUnreachablePoCD
+	}
+	for r := 0; r <= maxInverseR; r++ {
+		if m.PoCD(r) >= target {
+			mt := m.MachineTime(r)
+			return Result{
+				Strategy:    m.Name(),
+				R:           r,
+				Utility:     cfg.Utility(m, r),
+				PoCD:        m.PoCD(r),
+				MachineTime: mt,
+				Cost:        cfg.UnitPrice * mt,
+			}, nil
+		}
+	}
+	return Result{}, ErrUnreachablePoCD
+}
+
+// CheapestStrategyForPoCD evaluates all three strategies against a PoCD
+// target and returns the one meeting it at the lowest cost.
+func CheapestStrategyForPoCD(p analysis.Params, cfg Config, target float64) (Result, error) {
+	best := Result{Cost: math.Inf(1)}
+	found := false
+	for _, s := range analysis.Strategies() {
+		res, err := MinCostForPoCD(analysis.NewModel(s, p), cfg, target)
+		if err != nil {
+			continue
+		}
+		if res.Cost < best.Cost {
+			best = res
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrUnreachablePoCD
+	}
+	return best, nil
+}
+
+// MaxPoCDForBudget returns the configuration with the highest PoCD whose
+// cost stays within budget — the other direction of the tradeoff frontier.
+func MaxPoCDForBudget(m analysis.Model, cfg Config, budget float64) (Result, error) {
+	best := Result{R: -1}
+	for r := 0; r <= maxInverseR; r++ {
+		mt := m.MachineTime(r)
+		cost := cfg.UnitPrice * mt
+		if cost > budget {
+			break // cost is strictly increasing in r
+		}
+		if pocd := m.PoCD(r); best.R < 0 || pocd > best.PoCD {
+			best = Result{
+				Strategy:    m.Name(),
+				R:           r,
+				Utility:     cfg.Utility(m, r),
+				PoCD:        pocd,
+				MachineTime: mt,
+				Cost:        cost,
+			}
+		}
+	}
+	if best.R < 0 {
+		return Result{}, errors.New("optimize: budget below the cost of r=0")
+	}
+	return best, nil
+}

@@ -1,0 +1,206 @@
+// Package pareto implements the Pareto (Type I) distribution together with
+// the order-statistic and conditional-expectation machinery that the Chronos
+// analysis (Theorems 1-8 of the paper) is built on.
+//
+// Task attempt execution times in Chronos are modelled as i.i.d.
+// Pareto(tmin, beta) random variables: tmin is the minimum execution time and
+// beta is the tail index. Heavier tails (smaller beta) produce more severe
+// stragglers. The package also provides deterministic sub-streams for
+// reproducible sampling and a small adaptive-quadrature routine used by the
+// closed-form cost expressions that contain non-elementary integrals.
+package pareto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Dist is a Pareto Type I distribution with scale TMin > 0 and shape Beta > 0.
+//
+// The density is f(t) = Beta * TMin^Beta / t^(Beta+1) for t >= TMin and 0
+// otherwise.
+type Dist struct {
+	// TMin is the scale parameter: the minimum value the variable can take.
+	TMin float64
+	// Beta is the shape (tail index). Values in (1, 2) produce the
+	// heavy-tailed regime studied in the paper (finite mean, infinite
+	// variance for Beta <= 2).
+	Beta float64
+}
+
+// ErrInvalidParams reports a Pareto distribution with non-positive scale or
+// shape.
+var ErrInvalidParams = errors.New("pareto: parameters must be positive")
+
+// New validates the parameters and returns the distribution.
+func New(tmin, beta float64) (Dist, error) {
+	d := Dist{TMin: tmin, Beta: beta}
+	if err := d.Validate(); err != nil {
+		return Dist{}, err
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on invalid parameters. Intended for package-level
+// defaults and tests.
+func MustNew(tmin, beta float64) Dist {
+	d, err := New(tmin, beta)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Validate reports whether the parameters define a proper distribution.
+func (d Dist) Validate() error {
+	if !(d.TMin > 0) || !(d.Beta > 0) || math.IsInf(d.TMin, 0) || math.IsInf(d.Beta, 0) {
+		return fmt.Errorf("%w: tmin=%v beta=%v", ErrInvalidParams, d.TMin, d.Beta)
+	}
+	return nil
+}
+
+// PDF returns the probability density at t.
+func (d Dist) PDF(t float64) float64 {
+	if t < d.TMin {
+		return 0
+	}
+	return d.Beta * math.Pow(d.TMin, d.Beta) / math.Pow(t, d.Beta+1)
+}
+
+// CDF returns P(T <= t).
+func (d Dist) CDF(t float64) float64 {
+	if t <= d.TMin {
+		return 0
+	}
+	return 1 - math.Pow(d.TMin/t, d.Beta)
+}
+
+// Survival returns P(T > t) = (tmin/t)^beta for t >= tmin and 1 otherwise.
+func (d Dist) Survival(t float64) float64 {
+	if t <= d.TMin {
+		return 1
+	}
+	return math.Pow(d.TMin/t, d.Beta)
+}
+
+// Quantile returns the value t such that CDF(t) = p, for p in [0, 1).
+// Quantile(0) == TMin; Quantile(1) is +Inf.
+func (d Dist) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.TMin
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return d.TMin / math.Pow(1-p, 1/d.Beta)
+}
+
+// Mean returns E[T] = tmin*beta/(beta-1) for beta > 1 and +Inf otherwise.
+func (d Dist) Mean() float64 {
+	if d.Beta <= 1 {
+		return math.Inf(1)
+	}
+	return d.TMin * d.Beta / (d.Beta - 1)
+}
+
+// Median returns the 50th percentile.
+func (d Dist) Median() float64 { return d.Quantile(0.5) }
+
+// Variance returns Var[T] for beta > 2 and +Inf otherwise.
+func (d Dist) Variance() float64 {
+	if d.Beta <= 2 {
+		return math.Inf(1)
+	}
+	b := d.Beta
+	return d.TMin * d.TMin * b / ((b - 1) * (b - 1) * (b - 2))
+}
+
+// Sample draws one variate using inverse-transform sampling.
+func (d Dist) Sample(rng *rand.Rand) float64 {
+	// 1-Float64() is in (0, 1], avoiding a division by zero.
+	u := 1 - rng.Float64()
+	return d.TMin / math.Pow(u, 1/d.Beta)
+}
+
+// SampleN draws n variates.
+func (d Dist) SampleN(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// Scaled returns the distribution of c*T for c > 0, which is again Pareto
+// with scale c*tmin and the same shape. This is how Speculative-Resume models
+// the remaining work (1-phi)*T of a resumed task.
+func (d Dist) Scaled(c float64) Dist {
+	return Dist{TMin: c * d.TMin, Beta: d.Beta}
+}
+
+// ConditionedAbove returns the distribution of T given T > lo for lo >= tmin.
+// By the Pareto "Lindy" property (Lemma 3 in the paper) this is again Pareto
+// with scale lo and unchanged shape.
+func (d Dist) ConditionedAbove(lo float64) Dist {
+	if lo < d.TMin {
+		lo = d.TMin
+	}
+	return Dist{TMin: lo, Beta: d.Beta}
+}
+
+// MinOf returns the distribution of min(T_1, ..., T_n) of n i.i.d. copies,
+// which is Pareto(tmin, n*beta).
+func (d Dist) MinOf(n int) Dist {
+	return Dist{TMin: d.TMin, Beta: d.Beta * float64(n)}
+}
+
+// ExpectedMin returns E[min(T_1,...,T_n)] = tmin*n*beta/(n*beta - 1), the
+// statement of Lemma 1. It returns +Inf when n*beta <= 1.
+func (d Dist) ExpectedMin(n int) float64 {
+	nb := float64(n) * d.Beta
+	if nb <= 1 {
+		return math.Inf(1)
+	}
+	return d.TMin * nb / (nb - 1)
+}
+
+// MeanBelow returns E[T | T <= upper] for upper > tmin. This is the paper's
+// "Case 1" expression (Theorems 4 and 6):
+//
+//	E(T | T <= D) = tmin*D*beta*(tmin^(beta-1) - D^(beta-1)) /
+//	                ((1-beta)*(D^beta - tmin^beta))
+//
+// For beta == 1 the expression has a removable singularity handled via the
+// logarithmic limit.
+func (d Dist) MeanBelow(upper float64) float64 {
+	if upper <= d.TMin {
+		return d.TMin
+	}
+	b, tm := d.Beta, d.TMin
+	if math.Abs(b-1) < 1e-9 {
+		// E[T | T<=D] = tm*D*ln(D/tm) / (D - tm) for beta == 1.
+		return tm * upper * math.Log(upper/tm) / (upper - tm)
+	}
+	num := tm * upper * b * (math.Pow(tm, b-1) - math.Pow(upper, b-1))
+	den := (1 - b) * (math.Pow(upper, b) - math.Pow(tm, b))
+	return num / den
+}
+
+// MeanAbove returns E[T | T > lo] = lo*beta/(beta-1) (Lemma 3: the
+// conditional law is Pareto(lo, beta)). Returns +Inf when beta <= 1.
+func (d Dist) MeanAbove(lo float64) float64 {
+	if lo < d.TMin {
+		lo = d.TMin
+	}
+	if d.Beta <= 1 {
+		return math.Inf(1)
+	}
+	return lo * d.Beta / (d.Beta - 1)
+}
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	return fmt.Sprintf("Pareto(tmin=%g, beta=%g)", d.TMin, d.Beta)
+}

@@ -1,0 +1,169 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// engine: a virtual clock, a priority event queue with stable FIFO ordering
+// for simultaneous events, and cancellable timers. The cluster and MapReduce
+// substrates are built on top of it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all event handlers run on the caller's goroutine inside
+// Run/Step.
+type Engine struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts executed events, for introspection and tests.
+	processed uint64
+}
+
+// Timer is a handle on a scheduled event; Cancel prevents a pending event
+// from firing.
+type Timer struct {
+	item *eventItem
+}
+
+// Cancel deschedules the event. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Returns whether the event was pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+		return false
+	}
+	t.item.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.item != nil && !t.item.cancelled && !t.item.fired
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule enqueues fn to run at absolute simulation time at. Scheduling in
+// the past (before Now) panics: it is always a logic bug in the model.
+func (e *Engine) Schedule(at float64, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: schedule at NaN")
+	}
+	item := &eventItem{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, item)
+	return &Timer{item: item}
+}
+
+// After enqueues fn to run delay units from now.
+func (e *Engine) After(delay float64, fn func()) *Timer {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step executes the next pending event and returns true, or returns false if
+// the queue is empty or the engine is stopped.
+func (e *Engine) Step() bool {
+	for !e.stopped && e.queue.Len() > 0 {
+		item := heap.Pop(&e.queue).(*eventItem)
+		if item.cancelled {
+			continue
+		}
+		e.now = item.at
+		item.fired = true
+		e.processed++
+		item.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue (or stops early if Stop is called from a
+// handler).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t float64) {
+	for !e.stopped && e.queue.Len() > 0 {
+		if next := e.queue.items[0]; next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current handler returns. Pending events
+// stay queued; a stopped engine can not be restarted.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventItem is one queue entry; seq breaks timestamp ties FIFO.
+type eventItem struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue struct {
+	items []*eventItem
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	item := x.(*eventItem)
+	item.index = len(q.items)
+	q.items = append(q.items, item)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return item
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Errorf("After(5) from t=10 fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingFromHandlers(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	if count != 100 {
+		t.Errorf("recurrent event fired %d times, want 100", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at NaN did not panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.Schedule(1, func() { fired = true })
+	if !timer.Pending() {
+		t.Error("timer not pending after Schedule")
+	}
+	if !timer.Cancel() {
+		t.Error("Cancel returned false for pending timer")
+	}
+	if timer.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", e.Processed())
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	timer := e.Schedule(1, func() {})
+	e.Run()
+	if timer.Pending() {
+		t.Error("fired timer still pending")
+	}
+	if timer.Cancel() {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+func TestNilTimerCancel(t *testing.T) {
+	var timer *Timer
+	if timer.Cancel() {
+		t.Error("nil timer Cancel returned true")
+	}
+	if timer.Pending() {
+		t.Error("nil timer Pending returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Errorf("after RunUntil(10) fired %d events, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v, want clock advanced to 10", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("fired %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	if e.Step() {
+		t.Error("Step on stopped engine returned true")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() after Run = %d, want 0", e.Pending())
+	}
+}
+
+// TestHeapStress exercises the queue with random interleaved schedule and
+// cancel operations, verifying global time order.
+func TestHeapStress(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewPCG(1, 2))
+	var fired []float64
+	var timers []*Timer
+	for i := 0; i < 5000; i++ {
+		at := rng.Float64() * 1000
+		timers = append(timers, e.Schedule(at, func() { fired = append(fired, at) }))
+	}
+	// Cancel a random third.
+	cancelled := 0
+	for _, timer := range timers {
+		if rng.Float64() < 0.33 && timer.Cancel() {
+			cancelled++
+		}
+	}
+	e.Run()
+	if len(fired) != 5000-cancelled {
+		t.Errorf("fired %d events, want %d", len(fired), 5000-cancelled)
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Error("stress run fired events out of order")
+	}
+}

@@ -1,0 +1,126 @@
+package speculate
+
+import (
+	"math"
+	"sort"
+
+	"chronos/internal/mapreduce"
+)
+
+// LATE implements the LATE scheduler (Zaharia et al., OSDI'08) as an
+// additional baseline: speculate on the task with the Longest Approximate
+// Time to End, but only if its progress rate is below the SlowTaskThreshold
+// percentile, and keep the number of concurrent speculative attempts under
+// SpeculativeCap. LATE is not part of the paper's evaluation tables but is
+// the lineage baseline Mantri and Chronos are positioned against.
+type LATE struct {
+	// CheckInterval is the monitoring period (default 5 s).
+	CheckInterval float64
+	// SlowTaskThreshold is the progress-rate percentile below which a task
+	// qualifies for speculation (default 0.25, per the LATE paper).
+	SlowTaskThreshold float64
+	// SpeculativeCap bounds concurrently running speculative attempts per
+	// job (default 10% of tasks, minimum 1).
+	SpeculativeCap int
+}
+
+var _ mapreduce.Strategy = LATE{}
+
+// Name implements mapreduce.Strategy.
+func (LATE) Name() string { return "LATE" }
+
+// Start implements mapreduce.Strategy.
+func (l LATE) Start(ctl *mapreduce.Controller) {
+	if l.CheckInterval <= 0 {
+		l.CheckInterval = 5
+	}
+	if l.SlowTaskThreshold <= 0 {
+		l.SlowTaskThreshold = 0.25
+	}
+	job := ctl.Job()
+	if l.SpeculativeCap <= 0 {
+		l.SpeculativeCap = len(job.Tasks) / 10
+		if l.SpeculativeCap < 1 {
+			l.SpeculativeCap = 1
+		}
+	}
+	launchStaged(ctl)
+	relaunchOnLoss(ctl)
+	killLeftoversOnTaskDone(ctl)
+
+	var tick func()
+	tick = func() {
+		if job.Done {
+			return
+		}
+		l.pass(ctl)
+		ctl.After(l.CheckInterval, tick)
+	}
+	ctl.After(l.CheckInterval, tick)
+}
+
+// pass runs one LATE monitoring cycle.
+func (l LATE) pass(ctl *mapreduce.Controller) {
+	job := ctl.Job()
+	now := ctl.Now()
+
+	// Collect progress rates of all original attempts that have reported.
+	type cand struct {
+		task *mapreduce.Task
+		rate float64
+		est  float64
+	}
+	var rates []float64
+	var cands []cand
+	speculating := 0
+	for _, t := range job.Tasks {
+		if len(t.Attempts) > 1 {
+			// Count live speculative copies toward the cap.
+			for _, a := range t.Attempts[1:] {
+				if a.State == mapreduce.AttemptRunning || a.State == mapreduce.AttemptQueued {
+					speculating++
+				}
+			}
+		}
+		if t.Done || len(t.Attempts) != 1 {
+			continue
+		}
+		a := t.Attempts[0]
+		if !a.Running() {
+			continue
+		}
+		elapsed := now - a.LaunchTime
+		if elapsed <= 0 {
+			continue
+		}
+		rate := a.OwnProgress(now) / elapsed
+		rates = append(rates, rate)
+		est := mapreduce.HadoopEstimator(a, now)
+		if math.IsInf(est, 1) {
+			est = math.MaxFloat64
+		}
+		cands = append(cands, cand{task: t, rate: rate, est: est})
+	}
+	if len(cands) == 0 || speculating >= l.SpeculativeCap {
+		return
+	}
+
+	// Slow-task threshold: rate below the configured percentile.
+	sort.Float64s(rates)
+	cut := rates[int(float64(len(rates))*l.SlowTaskThreshold)]
+
+	// Speculate on the slow task with the longest approximate time to end.
+	var pick *cand
+	for i := range cands {
+		c := &cands[i]
+		if c.rate > cut {
+			continue
+		}
+		if pick == nil || c.est > pick.est {
+			pick = c
+		}
+	}
+	if pick != nil {
+		ctl.Launch(pick.task, 0)
+	}
+}

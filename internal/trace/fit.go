@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"errors"
+	"math"
+
+	"chronos/internal/pareto"
+)
+
+// ErrTooFewSamples reports a fit attempted on fewer than two samples.
+var ErrTooFewSamples = errors.New("trace: need at least 2 samples to fit")
+
+// FitPareto estimates Pareto(tmin, beta) from empirical execution-time
+// samples by maximum likelihood:
+//
+//	tmin = min(x_i),   beta = n / sum(ln(x_i / tmin)).
+//
+// This is how the paper turns each Google-trace job's observed execution
+// time distribution into the Pareto used to regenerate task times.
+func FitPareto(samples []float64) (pareto.Dist, error) {
+	if len(samples) < 2 {
+		return pareto.Dist{}, ErrTooFewSamples
+	}
+	tmin := math.Inf(1)
+	for _, x := range samples {
+		if x <= 0 || math.IsNaN(x) {
+			return pareto.Dist{}, errors.New("trace: samples must be positive")
+		}
+		if x < tmin {
+			tmin = x
+		}
+	}
+	var logSum float64
+	for _, x := range samples {
+		logSum += math.Log(x / tmin)
+	}
+	if logSum <= 0 {
+		// All samples identical: degenerate, return a near-deterministic fit.
+		return pareto.New(tmin, 100)
+	}
+	beta := float64(len(samples)) / logSum
+	return pareto.New(tmin, beta)
+}

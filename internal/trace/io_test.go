@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 25
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("round-trip returned %d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Errorf("job %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	in := "id,arrival,tasks,tmin,beta,deadline\n1,0,5,10,1.5,100\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestReadCSVRejectsBadRecords(t *testing.T) {
+	header := "id,arrival,num_tasks,tmin,beta,deadline\n"
+	bad := []string{
+		"x,0,5,10,1.5,100",  // bad id
+		"1,-5,5,10,1.5,100", // negative arrival
+		"1,0,0,10,1.5,100",  // zero tasks
+		"1,0,5,0,1.5,100",   // zero tmin
+		"1,0,5,10,0.9,100",  // beta <= 1
+		"1,0,5,10,1.5,0",    // zero deadline
+		"1,0,5,10,1.5",      // short record
+		"1,zz,5,10,1.5,100", // bad float
+		"1,0,zz,10,1.5,100", // bad int
+		"1,0,5,zz,1.5,100",  // bad tmin
+		"1,0,5,10,zz,100",   // bad beta
+		"1,0,5,10,1.5,zz",   // bad deadline
+	}
+	for _, row := range bad {
+		if _, err := ReadCSV(strings.NewReader(header + row + "\n")); err == nil {
+			t.Errorf("bad record accepted: %q", row)
+		}
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	in := "id,arrival,num_tasks,tmin,beta,deadline\n"
+	jobs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("empty body returned %d jobs", len(jobs))
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// FuzzReadCSV exercises the parser with arbitrary input: it must never
+// panic, and anything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,arrival,num_tasks,tmin,beta,deadline\n1,0,5,10,1.5,100\n")
+	f.Add("id,arrival,num_tasks,tmin,beta,deadline\n")
+	f.Add("")
+	f.Add("id,arrival,num_tasks,tmin,beta,deadline\n1,0,5,10,1.5,100\n2,3.5,7,20,1.9,50\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		jobs, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, jobs); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip of accepted trace failed: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round-trip changed job count: %d -> %d", len(jobs), len(again))
+		}
+	})
+}

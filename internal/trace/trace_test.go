@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"chronos/internal/pareto"
+)
+
+func TestGenerateDefault(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != cfg.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(jobs), cfg.Jobs)
+	}
+	arrivals := make([]float64, len(jobs))
+	for i, j := range jobs {
+		arrivals[i] = j.Arrival
+		if j.ID != i {
+			t.Errorf("job %d has ID %d (want arrival-order keys)", i, j.ID)
+		}
+		if j.Arrival < 0 || j.Arrival > cfg.Horizon {
+			t.Errorf("job %d arrival %v outside [0, %v]", i, j.Arrival, cfg.Horizon)
+		}
+		if j.NumTasks < cfg.MinTasks || j.NumTasks > cfg.MaxTasks {
+			t.Errorf("job %d tasks %d outside [%d, %d]", i, j.NumTasks, cfg.MinTasks, cfg.MaxTasks)
+		}
+		if err := j.Dist.Validate(); err != nil {
+			t.Errorf("job %d dist: %v", i, err)
+		}
+		if j.Dist.Beta <= cfg.BetaLow-1e-9 || j.Dist.Beta > cfg.BetaHigh+1e-9 {
+			t.Errorf("job %d beta %v outside bounds", i, j.Dist.Beta)
+		}
+		want := cfg.DeadlineRatio * j.Dist.Mean()
+		if math.Abs(j.Deadline-want) > 1e-9 {
+			t.Errorf("job %d deadline %v, want ratio*mean %v", i, j.Deadline, want)
+		}
+	}
+	if !sort.Float64sAreSorted(arrivals) {
+		t.Error("jobs not sorted by arrival")
+	}
+	// Task-count distribution must be heavy-tailed: log-uniform over
+	// [5, 2000] gives a median near sqrt(5*2000) = 100.
+	counts := make([]int, len(jobs))
+	for i, j := range jobs {
+		counts[i] = j.NumTasks
+	}
+	sort.Ints(counts)
+	median := counts[len(counts)/2]
+	if median < 30 || median > 330 {
+		t.Errorf("median task count %d, want log-uniform-ish ~100", median)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	same := 0
+	for i := range a {
+		if a[i].NumTasks == c[i].NumTasks {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	mutations := []func(*GeneratorConfig){
+		func(c *GeneratorConfig) { c.Jobs = 0 },
+		func(c *GeneratorConfig) { c.Horizon = 0 },
+		func(c *GeneratorConfig) { c.MinTasks = 0 },
+		func(c *GeneratorConfig) { c.MaxTasks = 1 },
+		func(c *GeneratorConfig) { c.TMinLow = 0 },
+		func(c *GeneratorConfig) { c.BetaLow = 0.9 },
+		func(c *GeneratorConfig) { c.DeadlineRatio = 1 },
+	}
+	for i, m := range mutations {
+		cfg := DefaultGeneratorConfig()
+		m(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTotalTasks(t *testing.T) {
+	jobs := []JobRecord{{NumTasks: 5}, {NumTasks: 7}}
+	if got := TotalTasks(jobs); got != 12 {
+		t.Errorf("TotalTasks = %d, want 12", got)
+	}
+}
+
+func TestFitParetoRecovers(t *testing.T) {
+	truth := pareto.MustNew(12, 1.6)
+	rng := pareto.NewStream(5)
+	samples := truth.SampleN(rng, 20000)
+	fit, err := FitPareto(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.TMin-truth.TMin)/truth.TMin > 0.01 {
+		t.Errorf("fitted tmin %v, want ~%v", fit.TMin, truth.TMin)
+	}
+	if math.Abs(fit.Beta-truth.Beta)/truth.Beta > 0.05 {
+		t.Errorf("fitted beta %v, want ~%v", fit.Beta, truth.Beta)
+	}
+}
+
+func TestFitParetoErrors(t *testing.T) {
+	if _, err := FitPareto([]float64{1}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("one sample: err = %v", err)
+	}
+	if _, err := FitPareto([]float64{1, -2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	// Identical samples: degenerate near-deterministic fit.
+	fit, err := FitPareto([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.TMin != 5 || fit.Beta < 50 {
+		t.Errorf("degenerate fit = %v", fit)
+	}
+}
+
+func TestSpotPricesAt(t *testing.T) {
+	s := SpotPrices{Times: []float64{0, 10, 20}, Prices: []float64{1, 2, 3}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{-5, 1}, {0, 1}, {5, 1}, {10, 2}, {15, 2}, {20, 3}, {100, 3},
+	}
+	for _, tt := range tests {
+		if got := s.At(tt.t); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestSpotPricesMean(t *testing.T) {
+	s := SpotPrices{Times: []float64{0, 10, 30}, Prices: []float64{1, 4, 9}}
+	// Time-weighted: (1*10 + 4*20) / 30 = 3.
+	if got := s.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Mean() = %v, want 3", got)
+	}
+	single := SpotPrices{Times: []float64{0}, Prices: []float64{7}}
+	if got := single.Mean(); got != 7 {
+		t.Errorf("single-point Mean() = %v, want 7", got)
+	}
+}
+
+func TestSpotPricesValidate(t *testing.T) {
+	bad := []SpotPrices{
+		{},
+		{Times: []float64{0, 1}, Prices: []float64{1}},
+		{Times: []float64{0, 0}, Prices: []float64{1, 2}},
+		{Times: []float64{0, 1}, Prices: []float64{1, -2}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad series %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateSpotPrices(t *testing.T) {
+	cfg := SpotConfig{Mean: 0.05, Volatility: 0.1, Reversion: 0.2, Step: 60, Horizon: 36000, Seed: 3}
+	s, err := GenerateSpotPrices(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean reversion keeps the time average near the configured mean.
+	if m := s.Mean(); math.Abs(m-cfg.Mean)/cfg.Mean > 0.25 {
+		t.Errorf("series mean %v, want near %v", m, cfg.Mean)
+	}
+	// The floor holds.
+	for _, p := range s.Prices {
+		if p < cfg.Mean*0.2-1e-12 {
+			t.Errorf("price %v below floor", p)
+		}
+	}
+}
+
+func TestGenerateSpotPricesValidation(t *testing.T) {
+	bad := []SpotConfig{
+		{Mean: 0, Step: 1, Horizon: 10, Reversion: 0.5},
+		{Mean: 1, Step: 0, Horizon: 10, Reversion: 0.5},
+		{Mean: 1, Step: 10, Horizon: 5, Reversion: 0.5},
+		{Mean: 1, Step: 1, Horizon: 10, Reversion: 0},
+		{Mean: 1, Step: 1, Horizon: 10, Reversion: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateSpotPrices(cfg); err == nil {
+			t.Errorf("bad spot config %d accepted", i)
+		}
+	}
+}
+
+func TestSpotIntegral(t *testing.T) {
+	s := SpotPrices{Times: []float64{0, 10, 30}, Prices: []float64{1, 4, 9}}
+	tests := []struct {
+		a, b float64
+		want float64
+	}{
+		{0, 10, 10},  // whole first segment
+		{0, 30, 90},  // 1*10 + 4*20
+		{5, 15, 25},  // 1*5 + 4*5
+		{30, 40, 90}, // last price extends
+		{-10, 0, 10}, // first price extends backwards
+		{12, 12, 0},  // empty interval
+		{25, 35, 65}, // 4*5 + 9*5
+	}
+	for _, tt := range tests {
+		if got := s.Integral(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Integral(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+	// Reversed bounds negate.
+	if got := s.Integral(15, 5); math.Abs(got+25) > 1e-9 {
+		t.Errorf("reversed Integral = %v, want -25", got)
+	}
+	// Consistency with Mean over the covered span.
+	if got, want := s.Integral(0, 30), s.Mean()*30; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Integral(0,30) = %v, want Mean*30 = %v", got, want)
+	}
+}

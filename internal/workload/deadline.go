@@ -1,0 +1,44 @@
+package workload
+
+import "chronos/internal/pareto"
+
+// DeadlinePolicy assigns a deadline to a job given its task-time
+// distribution, the way Morpheus/Jockey-style SLO systems derive deadlines
+// from history. The paper sets deadlines both as fixed SLA values (Fig. 2)
+// and as ratios of the average execution time (Fig. 4).
+type DeadlinePolicy interface {
+	Deadline(dist pareto.Dist, numTasks int) float64
+}
+
+// FixedDeadline always returns D.
+type FixedDeadline struct {
+	// D is the deadline in seconds.
+	D float64
+}
+
+// Deadline implements DeadlinePolicy.
+func (f FixedDeadline) Deadline(pareto.Dist, int) float64 { return f.D }
+
+// MeanRatioDeadline returns Ratio * E[task time] — the Figure 4 setting uses
+// Ratio = 2.
+type MeanRatioDeadline struct {
+	// Ratio multiplies the mean single-attempt execution time.
+	Ratio float64
+}
+
+// Deadline implements DeadlinePolicy.
+func (m MeanRatioDeadline) Deadline(dist pareto.Dist, _ int) float64 {
+	return m.Ratio * dist.Mean()
+}
+
+// QuantileDeadline sets the deadline at the q-th quantile of a single task's
+// execution time — deadlines calibrated to a desired per-task miss rate.
+type QuantileDeadline struct {
+	// Q is the quantile in (0, 1).
+	Q float64
+}
+
+// Deadline implements DeadlinePolicy.
+func (q QuantileDeadline) Deadline(dist pareto.Dist, _ int) float64 {
+	return dist.Quantile(q.Q)
+}

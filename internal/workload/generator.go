@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"chronos/internal/pareto"
+)
+
+// Split describes one generated input split: the unit of work a map task
+// consumes. Generators reproduce the roles of RandomWriter (Sort), TeraGen
+// (TeraSort) and the random-pair generator (SecondarySort) from the paper's
+// setup: they decide how many bytes each task must process and how skewed
+// the split sizes are.
+type Split struct {
+	// Index is the split ordinal within the dataset.
+	Index int
+	// Bytes is the split length.
+	Bytes int64
+	// Offset is the byte offset of the split in the whole dataset.
+	Offset int64
+}
+
+// Dataset is a generated input: a list of splits covering TotalBytes.
+type Dataset struct {
+	// Name labels the generator that produced the data.
+	Name string
+	// Splits covers the dataset contiguously.
+	Splits []Split
+	// TotalBytes is the dataset size.
+	TotalBytes int64
+}
+
+// Generator produces datasets. Implementations are deterministic in the
+// seed.
+type Generator interface {
+	// Name identifies the generator (e.g. "RandomWriter").
+	Name() string
+	// Generate produces numSplits splits covering totalBytes.
+	Generate(totalBytes int64, numSplits int, seed uint64) (Dataset, error)
+}
+
+// UniformGenerator cuts the dataset into equal splits — RandomWriter and
+// TeraGen both produce uniform blocks.
+type UniformGenerator struct {
+	// Label is the generator name (defaults to "RandomWriter").
+	Label string
+}
+
+var _ Generator = UniformGenerator{}
+
+// Name implements Generator.
+func (g UniformGenerator) Name() string {
+	if g.Label == "" {
+		return "RandomWriter"
+	}
+	return g.Label
+}
+
+// Generate implements Generator.
+func (g UniformGenerator) Generate(totalBytes int64, numSplits int, seed uint64) (Dataset, error) {
+	if err := checkGenArgs(totalBytes, numSplits); err != nil {
+		return Dataset{}, err
+	}
+	per := totalBytes / int64(numSplits)
+	ds := Dataset{Name: g.Name(), TotalBytes: totalBytes}
+	var off int64
+	for i := 0; i < numSplits; i++ {
+		sz := per
+		if i == numSplits-1 {
+			sz = totalBytes - off // remainder goes to the last split
+		}
+		ds.Splits = append(ds.Splits, Split{Index: i, Bytes: sz, Offset: off})
+		off += sz
+	}
+	return ds, nil
+}
+
+// SkewedGenerator produces splits whose sizes follow a bounded Pareto,
+// modelling record-level skew (the regime Hadoop-S wastes attempts on,
+// per the paper's introduction). Skew > 0 controls heaviness; sizes are
+// normalized to sum to totalBytes.
+type SkewedGenerator struct {
+	// Skew is the Pareto tail index of raw split sizes (smaller = more
+	// skewed). Values in (1, 3] are sensible; default 1.5.
+	Skew float64
+}
+
+var _ Generator = SkewedGenerator{}
+
+// Name implements Generator.
+func (SkewedGenerator) Name() string { return "SkewedPairGen" }
+
+// Generate implements Generator.
+func (g SkewedGenerator) Generate(totalBytes int64, numSplits int, seed uint64) (Dataset, error) {
+	if err := checkGenArgs(totalBytes, numSplits); err != nil {
+		return Dataset{}, err
+	}
+	skew := g.Skew
+	if skew <= 0 {
+		skew = 1.5
+	}
+	dist, err := pareto.New(1, skew)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("workload: %w", err)
+	}
+	rng := pareto.NewStream(seed)
+	raw := make([]float64, numSplits)
+	var sum float64
+	for i := range raw {
+		raw[i] = dist.Sample(rng)
+		sum += raw[i]
+	}
+	ds := Dataset{Name: g.Name(), TotalBytes: totalBytes}
+	var off int64
+	for i, w := range raw {
+		sz := int64(w / sum * float64(totalBytes))
+		if sz < 1 {
+			sz = 1
+		}
+		if i == numSplits-1 {
+			sz = totalBytes - off
+		}
+		ds.Splits = append(ds.Splits, Split{Index: i, Bytes: sz, Offset: off})
+		off += sz
+	}
+	return ds, nil
+}
+
+func checkGenArgs(totalBytes int64, numSplits int) error {
+	if totalBytes <= 0 {
+		return fmt.Errorf("workload: totalBytes %d <= 0", totalBytes)
+	}
+	if numSplits < 1 || int64(numSplits) > totalBytes {
+		return fmt.Errorf("workload: numSplits %d out of range for %d bytes", numSplits, totalBytes)
+	}
+	return nil
+}
+
+// Validate checks dataset invariants: contiguous coverage, positive sizes.
+func (d Dataset) Validate() error {
+	var off int64
+	for i, s := range d.Splits {
+		if s.Index != i {
+			return fmt.Errorf("workload: split %d has index %d", i, s.Index)
+		}
+		if s.Bytes <= 0 {
+			return fmt.Errorf("workload: split %d has %d bytes", i, s.Bytes)
+		}
+		if s.Offset != off {
+			return fmt.Errorf("workload: split %d offset %d, want %d", i, s.Offset, off)
+		}
+		off += s.Bytes
+	}
+	if off != d.TotalBytes {
+		return fmt.Errorf("workload: splits cover %d bytes, want %d", off, d.TotalBytes)
+	}
+	return nil
+}

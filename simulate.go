@@ -1,0 +1,452 @@
+package chronos
+
+import (
+	"math"
+
+	"fmt"
+
+	"chronos/internal/cluster"
+	"chronos/internal/mapreduce"
+	"chronos/internal/metrics"
+	"chronos/internal/optimize"
+	"chronos/internal/pareto"
+	"chronos/internal/sim"
+	"chronos/internal/speculate"
+	"chronos/internal/trace"
+	"chronos/internal/workload"
+)
+
+// SimJob is one job of a simulated stream.
+type SimJob struct {
+	// Tasks is the number of parallel map tasks.
+	Tasks int
+	// Deadline is the job deadline in seconds after arrival.
+	Deadline float64
+	// TMin and Beta parameterize the Pareto attempt execution times.
+	TMin, Beta float64
+	// Arrival is the submission time (seconds from simulation start).
+	Arrival float64
+	// UnitPrice is the per-machine-second VM price; 0 means 1.
+	UnitPrice float64
+	// ReduceTasks optionally adds a reduce stage gated on map completion;
+	// 0 means a map-only job.
+	ReduceTasks int
+	// ReduceTMin and ReduceBeta parameterize reduce-task times; zeros
+	// inherit the map-stage values.
+	ReduceTMin, ReduceBeta float64
+}
+
+// TauScale selects how SimConfig's TauEst/TauKill are interpreted.
+type TauScale int
+
+// Tau interpretation modes.
+const (
+	// TauOfTMin (default): tau values are multiples of each job's TMin,
+	// the convention of the paper's Tables I and II.
+	TauOfTMin TauScale = iota
+	// TauAbsolute: tau values are absolute seconds after job arrival, the
+	// convention of the paper's testbed experiments (40 s / 80 s).
+	TauAbsolute
+)
+
+// SimConfig shapes one simulation run.
+type SimConfig struct {
+	// Strategy is the speculation policy driving every job.
+	Strategy Strategy
+	// Nodes and SlotsPerNode size the cluster; zero means 256 x 8.
+	Nodes, SlotsPerNode int
+	// Seed makes the run reproducible; equal seeds give identical runs and
+	// common random numbers across strategies.
+	Seed uint64
+	// TauEst and TauKill position the Chronos control instants, scaled per
+	// TauScale. Zero values default to 0.3 and 0.6 of tmin.
+	TauEst, TauKill float64
+	// TauScale selects the interpretation of TauEst/TauKill.
+	TauScale TauScale
+	// Econ drives the per-job optimizer and the reported utility. A zero
+	// value defaults to theta=1e-4, price 1, rmin 0.
+	Econ Econ
+	// FixedR bypasses the optimizer when >= 0 (ablations). Default: use
+	// the optimizer (any negative value, and 0 value is distinguished via
+	// UseFixedR).
+	FixedR int
+	// UseFixedR enables FixedR (so that FixedR == 0 is expressible).
+	UseFixedR bool
+	// JVMMin and JVMMax bound the attempt startup delay; zeros mean 1-3 s.
+	JVMMin, JVMMax float64
+	// ContentionP and ContentionMean, when positive, inject hotspot
+	// background load (probability and mean slowdown).
+	ContentionP, ContentionMean float64
+	// Spot, when non-nil, prices machine time against a synthetic
+	// EC2-like spot market instead of the fixed Econ.UnitPrice.
+	Spot *SpotMarket
+	// Failures, when non-nil, injects random node failures; running
+	// attempts on a failing node are lost and strategies relaunch them.
+	Failures *FailureModel
+	// UseHadoopEstimator makes the Chronos strategies predict completion
+	// times with Hadoop's default (JVM-oblivious) estimator instead of the
+	// paper's Eq. 30. Exists for the estimator ablation: it re-creates the
+	// false-positive straggler detections the paper fixes.
+	UseHadoopEstimator bool
+	// ReportInterval, when > 0, restricts the AM to periodic progress
+	// reports instead of continuous exact observation (as in real Hadoop).
+	ReportInterval float64
+	// ReportNoise adds relative Gaussian error to each report (e.g. 0.1);
+	// meaningful only with ReportInterval > 0.
+	ReportNoise float64
+}
+
+// FailureModel configures node-failure injection.
+type FailureModel struct {
+	// MTBF is the per-node mean time between failures (seconds).
+	MTBF float64
+	// MTTR is the mean node repair time (seconds); zero means failed
+	// nodes stay down.
+	MTTR float64
+}
+
+// SpotMarket configures time-varying VM pricing: a mean-reverting synthetic
+// series standing in for EC2 spot-price history (see DESIGN.md).
+type SpotMarket struct {
+	// Mean is the long-run unit price.
+	Mean float64
+	// Volatility is the per-step relative shock magnitude (default 0.15).
+	Volatility float64
+	// StepSeconds is the repricing interval (default 300 s).
+	StepSeconds float64
+	// Seed drives the shocks (default: the simulation seed).
+	Seed uint64
+}
+
+// Report summarizes one simulation run.
+type Report struct {
+	// Jobs is the number of jobs simulated.
+	Jobs int
+	// PoCD is the fraction of jobs meeting their deadline.
+	PoCD float64
+	// MeanMachineTime and MeanCost are per-job averages.
+	MeanMachineTime float64
+	MeanCost        float64
+	// Utility is the measured net utility under the run's Econ.
+	Utility float64
+	// RHistogram counts the optimizer-chosen r values (empty for
+	// baselines).
+	RHistogram map[int]int
+}
+
+// Simulate executes the job stream under the configured strategy on the
+// discrete-event cluster and reports PoCD, cost, and utility.
+func Simulate(cfg SimConfig, jobs []SimJob) (Report, error) {
+	if len(jobs) == 0 {
+		return Report{}, fmt.Errorf("chronos: no jobs to simulate")
+	}
+	cfg = cfg.withDefaults()
+
+	eng := sim.NewEngine()
+	var contention cluster.ContentionModel
+	if cfg.ContentionP > 0 && cfg.ContentionMean > 1 {
+		contention = cluster.HotspotContention{P: cfg.ContentionP, Mean: cfg.ContentionMean}
+	}
+	cl, err := cluster.New(eng, cluster.Config{
+		Nodes:        cfg.Nodes,
+		SlotsPerNode: cfg.SlotsPerNode,
+		Contention:   contention,
+		Seed:         cfg.Seed ^ 0xBEEF,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	rtCfg := mapreduce.Config{
+		Seed:           cfg.Seed,
+		ReportInterval: cfg.ReportInterval,
+		ReportNoise:    cfg.ReportNoise,
+	}
+	if cfg.Spot != nil {
+		series, err := cfg.spotSeries(jobs)
+		if err != nil {
+			return Report{}, err
+		}
+		rtCfg.SpotIntegral = series.Integral
+	}
+	rt := mapreduce.NewRuntime(eng, cl, rtCfg)
+
+	if cfg.Failures != nil && cfg.Failures.MTBF > 0 {
+		horizon := 0.0
+		for _, j := range jobs {
+			if end := j.Arrival + 20*j.Deadline; end > horizon {
+				horizon = end
+			}
+		}
+		cluster.FailureInjector{
+			MTBF:    cfg.Failures.MTBF,
+			MTTR:    cfg.Failures.MTTR,
+			Horizon: horizon,
+			Seed:    cfg.Seed ^ 0xFA11,
+		}.Install(eng, cl)
+	}
+
+	simulated := make([]*mapreduce.Job, 0, len(jobs))
+	for i, j := range jobs {
+		spec, err := j.spec(i, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		strat, err := cfg.strategyFor(j)
+		if err != nil {
+			return Report{}, err
+		}
+		job, err := rt.Submit(spec, strat)
+		if err != nil {
+			return Report{}, err
+		}
+		simulated = append(simulated, job)
+	}
+	eng.Run()
+
+	stats := metrics.NewStrategyStats(cfg.Strategy.String())
+	for _, job := range simulated {
+		if !job.Done {
+			return Report{}, fmt.Errorf("chronos: job %d did not complete", job.Spec.ID)
+		}
+		stats.Observe(job)
+	}
+	hist := make(map[int]int)
+	for _, k := range stats.RHistogram().Keys() {
+		hist[k] = stats.RHistogram().Count(k)
+	}
+	return Report{
+		Jobs:            stats.Jobs(),
+		PoCD:            stats.PoCD(),
+		MeanMachineTime: stats.MeanMachineTime(),
+		MeanCost:        stats.MeanCost(),
+		Utility:         stats.Utility(optimize.Config(cfg.Econ)),
+		RHistogram:      hist,
+	}, nil
+}
+
+// spotSeries generates the market covering the whole job stream.
+func (cfg SimConfig) spotSeries(jobs []SimJob) (trace.SpotPrices, error) {
+	horizon := 0.0
+	for _, j := range jobs {
+		// Generous slack: stragglers can run far past their deadline; the
+		// series extends constantly beyond its end anyway.
+		if end := j.Arrival + 20*j.Deadline; end > horizon {
+			horizon = end
+		}
+	}
+	m := *cfg.Spot
+	if m.Mean <= 0 {
+		m.Mean = cfg.Econ.UnitPrice
+	}
+	if m.Volatility == 0 {
+		m.Volatility = 0.15
+	}
+	if m.StepSeconds == 0 {
+		m.StepSeconds = 300
+	}
+	if m.Seed == 0 {
+		m.Seed = cfg.Seed
+	}
+	return trace.GenerateSpotPrices(trace.SpotConfig{
+		Mean:       m.Mean,
+		Volatility: m.Volatility,
+		Reversion:  0.2,
+		Step:       m.StepSeconds,
+		Horizon:    math.Max(horizon, m.StepSeconds),
+		Seed:       m.Seed,
+	})
+}
+
+// withDefaults fills zero values.
+func (cfg SimConfig) withDefaults() SimConfig {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 256
+	}
+	if cfg.SlotsPerNode == 0 {
+		cfg.SlotsPerNode = 8
+	}
+	if cfg.TauEst == 0 && cfg.TauKill == 0 {
+		cfg.TauEst, cfg.TauKill = 0.3, 0.6
+		cfg.TauScale = TauOfTMin
+	}
+	if cfg.Econ == (Econ{}) {
+		cfg.Econ = Econ{Theta: 1e-4, UnitPrice: 1}
+	}
+	if cfg.JVMMin == 0 && cfg.JVMMax == 0 {
+		cfg.JVMMin, cfg.JVMMax = 1, 3
+	}
+	return cfg
+}
+
+// spec converts a SimJob to the internal job description.
+func (j SimJob) spec(id int, cfg SimConfig) (mapreduce.JobSpec, error) {
+	dist, err := pareto.New(j.TMin, j.Beta)
+	if err != nil {
+		return mapreduce.JobSpec{}, err
+	}
+	price := j.UnitPrice
+	if price == 0 {
+		price = cfg.Econ.UnitPrice
+	}
+	spec := mapreduce.JobSpec{
+		ID:         id,
+		Name:       "sim",
+		NumTasks:   j.Tasks,
+		Deadline:   j.Deadline,
+		Dist:       dist,
+		SplitBytes: 128 << 20,
+		JVM:        mapreduce.JVMModel{Min: cfg.JVMMin, Max: cfg.JVMMax},
+		UnitPrice:  price,
+		Arrival:    j.Arrival,
+	}
+	if j.ReduceTasks > 0 {
+		rtmin, rbeta := j.ReduceTMin, j.ReduceBeta
+		if rtmin == 0 {
+			rtmin = j.TMin
+		}
+		if rbeta == 0 {
+			rbeta = j.Beta
+		}
+		rdist, err := pareto.New(rtmin, rbeta)
+		if err != nil {
+			return mapreduce.JobSpec{}, err
+		}
+		spec.Reduce = mapreduce.ReduceSpec{
+			NumTasks:   j.ReduceTasks,
+			Dist:       rdist,
+			SplitBytes: 64 << 20,
+		}
+	}
+	return spec, nil
+}
+
+// strategyFor instantiates the policy for one job (tau instants may be
+// job-relative).
+func (cfg SimConfig) strategyFor(j SimJob) (mapreduce.Strategy, error) {
+	tauEst, tauKill := cfg.TauEst, cfg.TauKill
+	if cfg.TauScale == TauOfTMin {
+		tauEst *= j.TMin
+		tauKill *= j.TMin
+	}
+	fixedR := -1
+	if cfg.UseFixedR {
+		fixedR = cfg.FixedR
+	}
+	ccfg := speculate.ChronosConfig{
+		TauEst:  tauEst,
+		TauKill: tauKill,
+		Opt:     optimize.Config(cfg.Econ),
+		FixedR:  fixedR,
+	}
+	if cfg.UseHadoopEstimator {
+		ccfg.Estimator = mapreduce.HadoopEstimator
+	}
+	switch cfg.Strategy {
+	case Clone:
+		return speculate.Clone{Config: ccfg}, nil
+	case SpeculativeRestart:
+		return speculate.Restart{Config: ccfg}, nil
+	case SpeculativeResume:
+		return speculate.Resume{Config: ccfg}, nil
+	case HadoopNS:
+		return speculate.HadoopNS{}, nil
+	case HadoopS:
+		return speculate.HadoopS{}, nil
+	case Mantri:
+		return speculate.Mantri{}, nil
+	case LATE:
+		return speculate.LATE{}, nil
+	default:
+		return nil, fmt.Errorf("chronos: unknown strategy %d", cfg.Strategy)
+	}
+}
+
+// Benchmark is a public view of one of the paper's testbed workloads.
+type Benchmark struct {
+	// Name is the benchmark name (Sort, SecondarySort, TeraSort,
+	// WordCount).
+	Name string
+	// TMin and Beta describe the calibrated map-task time distribution.
+	TMin, Beta float64
+	// Deadline is the paper's deadline for the benchmark.
+	Deadline float64
+	// CPUBound distinguishes compute- from I/O-dominated benchmarks.
+	CPUBound bool
+}
+
+// Benchmarks returns the four Figure 2 workloads.
+func Benchmarks() []Benchmark {
+	profs := workload.Profiles()
+	out := make([]Benchmark, len(profs))
+	for i, p := range profs {
+		out[i] = Benchmark{
+			Name:     p.Name,
+			TMin:     p.Dist.TMin,
+			Beta:     p.Dist.Beta,
+			Deadline: p.Deadline,
+			CPUBound: p.Class == workload.CPUBound,
+		}
+	}
+	return out
+}
+
+// Jobs expands a benchmark into a stream of n identical jobs with the given
+// task count, spaced spacing seconds apart.
+func (b Benchmark) Jobs(n, tasks int, spacing float64) []SimJob {
+	jobs := make([]SimJob, n)
+	for i := range jobs {
+		jobs[i] = SimJob{
+			Tasks:    tasks,
+			Deadline: b.Deadline,
+			TMin:     b.TMin,
+			Beta:     b.Beta,
+			Arrival:  float64(i) * spacing,
+		}
+	}
+	return jobs
+}
+
+// TraceConfig shapes a synthetic Google-like trace (see internal/trace for
+// the substitution rationale).
+type TraceConfig struct {
+	// Jobs and HorizonSeconds size the trace (paper: 2700 jobs / 30 h).
+	Jobs           int
+	HorizonSeconds float64
+	// DeadlineRatio sets each job's deadline to ratio x mean task time.
+	DeadlineRatio float64
+	// Seed drives the generation.
+	Seed uint64
+}
+
+// SyntheticTrace generates a Google-trace-like job stream ready for
+// Simulate.
+func SyntheticTrace(cfg TraceConfig) ([]SimJob, error) {
+	gen := trace.DefaultGeneratorConfig()
+	if cfg.Jobs > 0 {
+		gen.Jobs = cfg.Jobs
+	}
+	if cfg.HorizonSeconds > 0 {
+		gen.Horizon = cfg.HorizonSeconds
+	}
+	if cfg.DeadlineRatio > 0 {
+		gen.DeadlineRatio = cfg.DeadlineRatio
+	}
+	if cfg.Seed != 0 {
+		gen.Seed = cfg.Seed
+	}
+	records, err := trace.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]SimJob, len(records))
+	for i, r := range records {
+		jobs[i] = SimJob{
+			Tasks:    r.NumTasks,
+			Deadline: r.Deadline,
+			TMin:     r.Dist.TMin,
+			Beta:     r.Dist.Beta,
+			Arrival:  r.Arrival,
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,83 @@
+package chronos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateReduceStage(t *testing.T) {
+	jobs := []SimJob{
+		{Tasks: 8, Deadline: 300, TMin: 10, Beta: 1.5, ReduceTasks: 4},
+		{Tasks: 6, Deadline: 300, TMin: 10, Beta: 1.5, ReduceTasks: 3,
+			ReduceTMin: 5, ReduceBeta: 1.8, Arrival: 500},
+	}
+	for _, s := range []Strategy{HadoopNS, HadoopS, Mantri, Clone, SpeculativeRestart, SpeculativeResume} {
+		rep, err := Simulate(SimConfig{Strategy: s, Seed: 31}, jobs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.Jobs != 2 {
+			t.Errorf("%v: Jobs = %d, want 2", s, rep.Jobs)
+		}
+		if rep.MeanMachineTime <= 0 {
+			t.Errorf("%v: machine time %v", s, rep.MeanMachineTime)
+		}
+	}
+}
+
+func TestSimulateReduceValidation(t *testing.T) {
+	jobs := []SimJob{{Tasks: 2, Deadline: 100, TMin: 10, Beta: 1.5,
+		ReduceTasks: 1, ReduceBeta: -1}}
+	if _, err := Simulate(SimConfig{Strategy: HadoopNS}, jobs); err == nil {
+		t.Error("invalid reduce beta accepted")
+	}
+}
+
+func TestSimulateSpotPricing(t *testing.T) {
+	jobs := Benchmarks()[0].Jobs(60, 10, 400)
+	fixed, err := Simulate(SimConfig{Strategy: HadoopNS, Seed: 13}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot, err := Simulate(SimConfig{
+		Strategy: HadoopNS, Seed: 13,
+		Spot: &SpotMarket{Mean: 1, Volatility: 0.3},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds: same schedule, same machine time; only pricing
+	// differs.
+	if fixed.MeanMachineTime != spot.MeanMachineTime {
+		t.Errorf("spot pricing changed the schedule: %v vs %v",
+			fixed.MeanMachineTime, spot.MeanMachineTime)
+	}
+	if spot.MeanCost == fixed.MeanCost {
+		t.Error("spot cost identical to fixed cost; series had no effect")
+	}
+	// Mean-reverting around the same mean: costs within a band.
+	ratio := spot.MeanCost / fixed.MeanCost
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("spot/fixed cost ratio %v implausible", ratio)
+	}
+}
+
+func TestSimulateSpotDefaultsFromEcon(t *testing.T) {
+	jobs := []SimJob{{Tasks: 2, Deadline: 100, TMin: 10, Beta: 1.5}}
+	rep, err := Simulate(SimConfig{
+		Strategy: HadoopNS, Seed: 17,
+		Econ: Econ{Theta: 1e-4, UnitPrice: 2},
+		Spot: &SpotMarket{}, // mean defaults to Econ.UnitPrice
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanCost <= 0 {
+		t.Errorf("spot-priced cost = %v", rep.MeanCost)
+	}
+	// Cost should be near 2x machine time (mean price 2).
+	ratio := rep.MeanCost / rep.MeanMachineTime
+	if math.Abs(ratio-2) > 1 {
+		t.Errorf("cost/machine-time ratio %v, want ~2", ratio)
+	}
+}
