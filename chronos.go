@@ -89,51 +89,52 @@ var ErrNotAnalytic = errors.New("chronos: strategy has no closed-form model; use
 // i.i.d. Pareto(TMin, Beta) attempt execution times and a deadline D.
 type JobParams struct {
 	// Tasks is the number of parallel tasks N.
-	Tasks int
+	Tasks int `json:"tasks"`
 	// Deadline is D, in seconds from job start.
-	Deadline float64
+	Deadline float64 `json:"deadline"`
 	// TMin and Beta are the Pareto scale and tail index of a single
 	// attempt's execution time. Beta must exceed 1 (finite mean).
-	TMin, Beta float64
+	TMin float64 `json:"tmin"`
+	Beta float64 `json:"beta"`
 	// TauEst is the straggler-detection instant (ignored by Clone).
-	TauEst float64
+	TauEst float64 `json:"tauEst"`
 	// TauKill is the attempt-pruning instant.
-	TauKill float64
+	TauKill float64 `json:"tauKill"`
 	// PhiEst is the expected progress of a straggler at TauEst; zero means
 	// "derive from the model" (see analysis.Params.DefaultPhiEst).
-	PhiEst float64
+	PhiEst float64 `json:"phiEst,omitempty"`
 }
 
 // Econ carries the economic parameters of the joint optimization.
 type Econ struct {
 	// Theta is the PoCD/cost tradeoff factor (>0).
-	Theta float64
+	Theta float64 `json:"theta"`
 	// UnitPrice is the VM price C per unit machine time (>0).
-	UnitPrice float64
+	UnitPrice float64 `json:"unitPrice"`
 	// RMin is the minimum acceptable PoCD; utility is -Inf below it.
-	RMin float64
+	RMin float64 `json:"rmin,omitempty"`
 }
 
 // Plan is an optimized speculation configuration.
 type Plan struct {
 	// Strategy is the planned policy.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy"`
 	// R is the optimal number of extra attempts.
-	R int
+	R int `json:"r"`
 	// PoCD, MachineTime, Cost and Utility evaluate the plan.
-	PoCD        float64
-	MachineTime float64
-	Cost        float64
-	Utility     float64
+	PoCD        float64 `json:"pocd"`
+	MachineTime float64 `json:"machineTime"`
+	Cost        float64 `json:"cost"`
+	Utility     float64 `json:"utility"`
 }
 
 // TradeoffPoint is one sample of the PoCD/cost frontier.
 type TradeoffPoint struct {
-	R           int
-	PoCD        float64
-	MachineTime float64
-	Cost        float64
-	Utility     float64
+	R           int     `json:"r"`
+	PoCD        float64 `json:"pocd"`
+	MachineTime float64 `json:"machineTime"`
+	Cost        float64 `json:"cost"`
+	Utility     float64 `json:"utility"`
 }
 
 // toAnalysis converts the public params to the internal model, validating.
@@ -329,20 +330,20 @@ func DeadlineQuantile(s Strategy, p JobParams, r int, target float64) (float64, 
 // BatchJob pairs a job with its strategy for shared-budget planning.
 type BatchJob struct {
 	// Strategy must be one of the three Chronos strategies.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy"`
 	// Params describes the job.
-	Params JobParams
+	Params JobParams `json:"params"`
 	// RMin is the job's minimum acceptable PoCD.
-	RMin float64
+	RMin float64 `json:"rmin,omitempty"`
 }
 
 // BatchPlan is the allocation for one batch job.
 type BatchPlan struct {
 	// R is the number of extra attempts granted to the job.
-	R int
+	R int `json:"r"`
 	// PoCD and MachineTime evaluate the grant.
-	PoCD        float64
-	MachineTime float64
+	PoCD        float64 `json:"pocd"`
+	MachineTime float64 `json:"machineTime"`
 }
 
 // PlanBatch allocates a shared machine-time budget across M concurrent jobs

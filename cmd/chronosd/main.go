@@ -1,0 +1,78 @@
+// Command chronosd runs the online speculation-planning service: an HTTP
+// JSON API over the Chronos PoCD/cost optimization, with a sharded plan
+// cache, a bounded optimization worker pool, Prometheus metrics, and
+// graceful shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	chronosd [-addr :8080] [-cache-capacity 4096] [-cache-shards 16]
+//	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
+//
+// Endpoints:
+//
+//	POST /v1/plan        optimal plan for one job (cached hot path)
+//	POST /v1/plan/batch  shared-budget allocation across a job batch
+//	GET  /v1/tradeoff    PoCD/cost frontier for one strategy
+//	POST /v1/simulate    bounded discrete-event what-if run
+//	GET  /metrics        Prometheus text metrics
+//	GET  /healthz        liveness probe
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chronos/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheCapacity = flag.Int("cache-capacity", 4096, "total cached plans across shards (negative disables)")
+		cacheShards   = flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
+		workers       = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
+		maxBody       = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		maxBatch      = flag.Int("max-batch-jobs", 1024, "jobs accepted per /v1/plan/batch call")
+		maxSimJobs    = flag.Int("max-sim-jobs", 500, "jobs accepted per /v1/simulate call")
+		maxSimTasks   = flag.Int("max-sim-tasks", 5000, "tasks per simulated job")
+		maxSimTotal   = flag.Int("max-sim-total-tasks", 50000, "total tasks per /v1/simulate call")
+		readTimeout   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		grace         = flag.Duration("shutdown-grace", 10*time.Second, "graceful drain budget on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Addr:             *addr,
+		CacheCapacity:    *cacheCapacity,
+		CacheShards:      *cacheShards,
+		Workers:          *workers,
+		MaxBodyBytes:     *maxBody,
+		MaxBatchJobs:     *maxBatch,
+		MaxSimJobs:       *maxSimJobs,
+		MaxSimTasks:      *maxSimTasks,
+		MaxSimTotalTasks: *maxSimTotal,
+		ReadTimeout:      *readTimeout,
+		WriteTimeout:     *writeTimeout,
+		ShutdownGrace:    *grace,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("chronosd listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "chronosd:", err)
+		os.Exit(1)
+	}
+	hits, misses, entries := srv.CacheStats()
+	log.Printf("chronosd stopped (cache: %d hits, %d misses, %d entries)",
+		hits, misses, entries)
+}

@@ -1,0 +1,156 @@
+// Example chronosd_client starts an in-process chronosd instance and
+// drives every endpoint the way a cluster scheduler would: a single-job
+// plan (twice, showing the cache hit), a shared-budget batch, a tradeoff
+// curve, and a what-if simulation, finishing with the server's own
+// Prometheus metrics.
+//
+// Run with:
+//
+//	go run ./examples/chronosd_client
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"chronos/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chronosd_client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Boot chronosd on an ephemeral local port.
+	srv := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("chronosd serving on", base)
+
+	job := map[string]any{
+		"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5,
+		"tauEst": 30, "tauKill": 60,
+	}
+	econ := map[string]any{"theta": 1e-4, "unitPrice": 1}
+
+	// 1) Single-job planning — the scheduler's per-arrival hot path. The
+	// second identical request is served from the sharded plan cache.
+	fmt.Println("\n--- POST /v1/plan (cold, then cached) ---")
+	for i := 0; i < 2; i++ {
+		body, err := post(base+"/v1/plan", map[string]any{"job": job, "econ": econ})
+		if err != nil {
+			return err
+		}
+		fmt.Println(body)
+	}
+
+	// 2) Shared-budget batch: four concurrent jobs, one machine-time
+	// budget; strategies picked per job, then the budget split greedily.
+	fmt.Println("\n--- POST /v1/plan/batch ---")
+	batch := map[string]any{
+		"jobs": []map[string]any{
+			{"job": job},
+			{"job": job, "strategy": "clone"},
+			{"job": job, "rmin": 0.5},
+			{"job": job, "strategy": "s-resume"},
+		},
+		"budget": 5000,
+		"econ":   econ,
+	}
+	body, err := post(base+"/v1/plan/batch", batch)
+	if err != nil {
+		return err
+	}
+	fmt.Println(body)
+
+	// 3) The PoCD/cost frontier for Clone, r = 0..5.
+	fmt.Println("\n--- GET /v1/tradeoff ---")
+	body, err = get(base + "/v1/tradeoff?strategy=clone&tasks=10&deadline=100&tmin=10&beta=1.5&tauEst=30&tauKill=60&theta=1e-4&price=1&maxR=5")
+	if err != nil {
+		return err
+	}
+	fmt.Println(body)
+
+	// 4) A bounded what-if simulation of the same job class.
+	fmt.Println("\n--- POST /v1/simulate ---")
+	sim := map[string]any{
+		"config": map[string]any{
+			"strategy": "s-resume", "seed": 7,
+			"tauEst": 40, "tauKill": 80, "tauScale": 1,
+		},
+		"jobs": []map[string]any{
+			{"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5},
+			{"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5, "arrival": 50},
+		},
+	}
+	body, err = post(base+"/v1/simulate", sim)
+	if err != nil {
+		return err
+	}
+	fmt.Println(body)
+
+	// 5) The serving metrics, filtered to the cache and plan counters.
+	fmt.Println("\n--- GET /metrics (excerpt) ---")
+	body, err = get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "chronosd_plan") {
+			fmt.Println(line)
+		}
+	}
+
+	cancel()
+	return <-done
+}
+
+func post(url string, payload any) (string, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	return readBody(resp)
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	return readBody(resp)
+}
+
+func readBody(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	body := strings.TrimSpace(string(raw))
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}

@@ -1,0 +1,3 @@
+module chronos
+
+go 1.22

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	h := NewLatencyHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []uint64{1, 2, 3, 4}
+	for i, w := range want {
+		if snap.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, snap.Cumulative[i], w)
+		}
+	}
+	if snap.Count != 4 {
+		t.Errorf("count = %d, want 4", snap.Count)
+	}
+	if math.Abs(snap.Sum-5.555) > 1e-9 {
+		t.Errorf("sum = %v, want 5.555", snap.Sum)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g+1) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != 4000 {
+		t.Errorf("count = %d, want 4000", snap.Count)
+	}
+	// Sum of 500 * sum_{g=1..8} g/1000 = 500 * 0.036 = 18.
+	if math.Abs(snap.Sum-18) > 1e-6 {
+		t.Errorf("sum = %v, want 18", snap.Sum)
+	}
+	if last := snap.Cumulative[len(snap.Cumulative)-1]; last != snap.Count {
+		t.Errorf("final cumulative %d != count %d", last, snap.Count)
+	}
+}

@@ -37,6 +37,9 @@ func Solve(m analysis.Model, cfg Config) (Result, error) {
 	if err := m.Params().Validate(); err != nil {
 		return Result{}, err
 	}
+	// The bracketing and binary-search phases revisit r values; cache the
+	// closed-form evaluations for the duration of the solve.
+	m = Memoize(m)
 
 	gamma := m.Gamma()
 	start := int(math.Ceil(gamma))

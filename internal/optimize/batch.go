@@ -57,20 +57,24 @@ func BatchSolve(jobs []BatchJob, budget float64) ([]BatchResult, error) {
 	if len(jobs) == 0 {
 		return nil, errors.New("optimize: empty batch")
 	}
+	// The greedy loop below re-evaluates every job's marginal step each
+	// round; memoize the closed forms so each (job, r) pair is computed once.
+	models := make([]analysis.Model, len(jobs))
 	rs := make([]int, len(jobs))
 	spent := 0.0
 	for i, j := range jobs {
 		if err := j.Model.Params().Validate(); err != nil {
 			return nil, fmt.Errorf("optimize: batch job %d: %w", i, err)
 		}
-		spent += j.Model.MachineTime(0)
+		models[i] = Memoize(j.Model)
+		spent += models[i].MachineTime(0)
 	}
 	if spent > budget {
 		return nil, fmt.Errorf("%w: need %v, have %v", ErrBudgetTooSmall, spent, budget)
 	}
 
 	utility := func(i, r int) float64 {
-		p := jobs[i].Model.PoCD(r)
+		p := models[i].PoCD(r)
 		if p <= jobs[i].RMin {
 			return math.Inf(-1)
 		}
@@ -85,7 +89,7 @@ func BatchSolve(jobs []BatchJob, budget float64) ([]BatchResult, error) {
 			if rs[i] >= batchRCap {
 				continue
 			}
-			dCost := jobs[i].Model.MachineTime(rs[i]+1) - jobs[i].Model.MachineTime(rs[i])
+			dCost := models[i].MachineTime(rs[i]+1) - models[i].MachineTime(rs[i])
 			if dCost <= 0 {
 				// Extra attempts can reduce expected machine time for
 				// reactive strategies (straggler truncation): always take
@@ -113,11 +117,11 @@ func BatchSolve(jobs []BatchJob, budget float64) ([]BatchResult, error) {
 	}
 
 	out := make([]BatchResult, len(jobs))
-	for i, j := range jobs {
+	for i := range jobs {
 		out[i] = BatchResult{
 			R:           rs[i],
-			PoCD:        j.Model.PoCD(rs[i]),
-			MachineTime: j.Model.MachineTime(rs[i]),
+			PoCD:        models[i].PoCD(rs[i]),
+			MachineTime: models[i].MachineTime(rs[i]),
 			Utility:     utility(i, rs[i]),
 		}
 	}

@@ -1,0 +1,46 @@
+package optimize
+
+import "chronos/internal/analysis"
+
+// memoModel caches PoCD and MachineTime evaluations by r. The closed-form
+// theorems cost hundreds of floating-point operations per call, and both the
+// Algorithm 1 bracketing search and the greedy batch allocator re-evaluate
+// the same r values many times (the batch loop is O(total_r * M) model
+// calls, most of them repeats). Memoization turns those repeats into map
+// hits. Not safe for concurrent use; wrap per solve call.
+type memoModel struct {
+	analysis.Model
+	pocd map[int]float64
+	mt   map[int]float64
+}
+
+// Memoize wraps a model with per-r caching of PoCD and MachineTime.
+// Wrapping an already-memoized model returns it unchanged.
+func Memoize(m analysis.Model) analysis.Model {
+	if _, ok := m.(*memoModel); ok {
+		return m
+	}
+	return &memoModel{
+		Model: m,
+		pocd:  make(map[int]float64),
+		mt:    make(map[int]float64),
+	}
+}
+
+func (m *memoModel) PoCD(r int) float64 {
+	if v, ok := m.pocd[r]; ok {
+		return v
+	}
+	v := m.Model.PoCD(r)
+	m.pocd[r] = v
+	return v
+}
+
+func (m *memoModel) MachineTime(r int) float64 {
+	if v, ok := m.mt[r]; ok {
+		return v
+	}
+	v := m.Model.MachineTime(r)
+	m.mt[r] = v
+	return v
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The serving benchmarks measure plans per second through the full handler
+// stack (routing, body limit, JSON decode, cache, optimize, JSON encode).
+// Run with:
+//
+//	go test -bench=BenchmarkPlanHandler -benchmem ./internal/server/
+//
+// The cached benchmark replays one request body so every call after the
+// first hits the sharded plan cache; the cold benchmark walks a parameter
+// grid wider than the cache so every call solves Algorithm 1 for all three
+// strategies. Their ratio is the cache's speedup on the hot path.
+
+func benchBody(b *testing.B, deadline float64) []byte {
+	b.Helper()
+	job := testJob()
+	job.Deadline = deadline
+	raw, err := json.Marshal(planRequest{Job: job, Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+func servePlan(b *testing.B, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	return rec
+}
+
+// BenchmarkPlanHandlerCached measures the hot path: repeated plans for the
+// same (quantized) job served from the cache.
+func BenchmarkPlanHandlerCached(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	body := benchBody(b, 100)
+	servePlan(b, h, body) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servePlan(b, h, body)
+	}
+	b.StopTimer()
+	hits, _, _ := s.CacheStats()
+	if hits < uint64(b.N) {
+		b.Fatalf("only %d cache hits over %d requests", hits, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+}
+
+// BenchmarkPlanHandlerCold measures the miss path: every request carries a
+// distinct deadline drawn from a grid far wider than the cache, so each one
+// runs the full three-strategy optimization.
+func BenchmarkPlanHandlerCold(b *testing.B) {
+	s := New(Config{CacheCapacity: 64})
+	h := s.Handler()
+	// 256 distinct deadlines in [100, 164): resolvable at six significant
+	// digits, and cycling them through 64 LRU slots evicts each long
+	// before it comes around again, so every request misses.
+	bodies := make([][]byte, 256)
+	for i := range bodies {
+		bodies[i] = benchBody(b, 100+float64(i)*0.25)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servePlan(b, h, bodies[i%len(bodies)])
+	}
+	b.StopTimer()
+	_, misses, _ := s.CacheStats()
+	if misses < uint64(b.N) {
+		b.Fatalf("only %d cache misses over %d requests", misses, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+}
+
+// BenchmarkBatchHandler measures a 64-job shared-budget allocation with
+// best-of-three selection fanned out across the worker pool.
+func BenchmarkBatchHandler(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	jobs := make([]batchJobRequest, 64)
+	for i := range jobs {
+		job := testJob()
+		job.Tasks = 5 + i%20
+		jobs[i] = batchJobRequest{Job: job}
+	}
+	raw, err := json.Marshal(batchRequest{Jobs: jobs, Budget: 500000, Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan/batch", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "plans/s")
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"chronos"
+	"chronos/internal/metrics"
+)
+
+// planKey builds the cache key for one optimization request. Floats are
+// quantized to six significant digits, so jobs whose parameters differ only
+// in measurement noise below that resolution share a plan — the point of
+// the cache: schedulers see streams of near-identical jobs (same benchmark,
+// same SLA tier) and Algorithm 1 is invariant under sub-ppm perturbations.
+// strategy is empty for best-of-three planning.
+func planKey(strategy string, p chronos.JobParams, e chronos.Econ) string {
+	return fmt.Sprintf("%s|%d|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g",
+		strategy, p.Tasks, p.Deadline, p.TMin, p.Beta, p.TauEst, p.TauKill,
+		p.PhiEst, e.Theta, e.UnitPrice, e.RMin)
+}
+
+// planCache is a sharded LRU over optimized plans. Each shard has its own
+// mutex, map, and recency list; the FNV-1a hash of the key picks the shard,
+// so concurrent planners contend only 1/shards of the time.
+type planCache struct {
+	shards []cacheShard
+	mask   uint64
+
+	hits   metrics.Counter
+	misses metrics.Counter
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	plan chronos.Plan
+}
+
+// newPlanCache builds a cache with the given shard count (rounded up to a
+// power of two) and total capacity. Nil is returned when capacity < 0
+// (cache disabled); planCache methods tolerate a nil receiver.
+func newPlanCache(shards, capacity int) *planCache {
+	if capacity < 0 {
+		return nil
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &planCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			capacity: perShard,
+			entries:  make(map[string]*list.Element, perShard),
+			order:    list.New(),
+		}
+	}
+	return c
+}
+
+func (c *planCache) shard(key string) *cacheShard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum64()&c.mask]
+}
+
+// get returns the cached plan for key and marks it most recently used.
+func (c *planCache) get(key string) (chronos.Plan, bool) {
+	if c == nil {
+		return chronos.Plan{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return chronos.Plan{}, false
+	}
+	s.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts or refreshes key, evicting the shard's least recently used
+// entry when full.
+func (c *planCache) put(key string, plan chronos.Plan) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, plan: plan})
+}
+
+// len sums the shard sizes.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// stats returns cumulative hit/miss counts.
+func (c *planCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Value(), c.misses.Value()
+}
+
+// keyStrategy resolves the optional per-request strategy selector: empty or
+// "best" means best-of-three (best == true); otherwise strat holds the
+// pinned strategy. ok is false for unparseable names.
+func keyStrategy(name string) (strat chronos.Strategy, best, ok bool) {
+	name = strings.TrimSpace(name)
+	if name == "" || strings.EqualFold(name, "best") {
+		return 0, true, true
+	}
+	s, err := chronos.ParseStrategy(name)
+	if err != nil {
+		return 0, false, false
+	}
+	return s, false, true
+}
+
+// cacheStrategyName is the strategy component of a plan cache key: the
+// canonical name for pinned plans, "" for best-of-three.
+func cacheStrategyName(strat chronos.Strategy, best bool) string {
+	if best {
+		return ""
+	}
+	return strat.String()
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"chronos"
+)
+
+func TestPlanKeyQuantization(t *testing.T) {
+	base := testJob()
+	econ := testEcon()
+
+	jittered := base
+	jittered.Deadline = base.Deadline * (1 + 1e-9) // sub-quantum measurement noise
+	if planKey("", base, econ) != planKey("", jittered, econ) {
+		t.Error("sub-quantum jitter should map to the same cache key")
+	}
+
+	different := base
+	different.Deadline = base.Deadline * 1.01
+	if planKey("", base, econ) == planKey("", different, econ) {
+		t.Error("1% deadline change should map to a different cache key")
+	}
+
+	otherEcon := econ
+	otherEcon.Theta = econ.Theta * 10
+	if planKey("", base, econ) == planKey("", base, otherEcon) {
+		t.Error("10x theta change should map to a different cache key")
+	}
+
+	if planKey("Clone", base, econ) == planKey("", base, econ) {
+		t.Error("pinned and best-of-three plans must not share keys")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(1, 2) // single shard, capacity 2
+	plan := chronos.Plan{Strategy: chronos.Clone, R: 1}
+	c.put("a", plan)
+	c.put("b", plan)
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.put("c", plan)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was refreshed and should survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c was just inserted and should be cached")
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d, want 2", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newPlanCache(4, -1)
+	if c != nil {
+		t.Fatal("negative capacity should disable the cache")
+	}
+	c.put("k", chronos.Plan{})
+	if _, ok := c.get("k"); ok {
+		t.Error("disabled cache should never hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache should be empty")
+	}
+}
+
+// TestCacheConcurrentStress hammers every shard from many goroutines; run
+// under -race it validates the locking discipline.
+func TestCacheConcurrentStress(t *testing.T) {
+	c := newPlanCache(8, 128)
+	const goroutines = 16
+	const opsPerG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				key := fmt.Sprintf("job-%d", (g*opsPerG+i)%200)
+				if i%3 == 0 {
+					c.put(key, chronos.Plan{Strategy: chronos.Clone, R: i % 8})
+				} else {
+					c.get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.len(); got > 128 {
+		t.Errorf("cache holds %d entries, capacity 128", got)
+	}
+	hits, misses := c.stats()
+	// Per goroutine, i%3 == 0 holds for 167 of the 500 ops (puts); the
+	// other 333 are gets.
+	wantGets := uint64(goroutines * 333)
+	if hits+misses != wantGets {
+		t.Errorf("hits %d + misses %d = %d, want %d gets", hits, misses, hits+misses, wantGets)
+	}
+}
+
+// TestPlanHandlerConcurrent drives the full handler stack from many
+// goroutines against a handful of distinct jobs; under -race this covers
+// the cache, pool, and metrics paths end to end.
+func TestPlanHandlerConcurrent(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheShards: 4, CacheCapacity: 64})
+	const goroutines = 8
+	const requestsPerG = 25
+	bodies := make([][]byte, 5)
+	for i := range bodies {
+		job := testJob()
+		job.Deadline = 100 + float64(i)*10
+		raw, err := json.Marshal(planRequest{Job: job, Econ: testEcon()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requestsPerG; i++ {
+				resp, err := http.Post(ts.URL+"/v1/plan", "application/json",
+					bytes.NewReader(bodies[(g+i)%len(bodies)]))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	hits, misses, entries := srv.CacheStats()
+	total := uint64(goroutines * requestsPerG)
+	if hits+misses != total {
+		t.Errorf("hits %d + misses %d != %d requests", hits, misses, total)
+	}
+	// All but the first-arrival races should hit: 5 distinct jobs.
+	if hits < total-20 {
+		t.Errorf("only %d/%d cache hits for 5 distinct jobs", hits, total)
+	}
+	if entries != 5 {
+		t.Errorf("cache entries = %d, want 5", entries)
+	}
+}
+
+// TestBatchHandlerConcurrent exercises the worker-pool fan-out under -race.
+func TestBatchHandlerConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	jobs := make([]batchJobRequest, 16)
+	for i := range jobs {
+		job := testJob()
+		job.Tasks = 5 + i
+		jobs[i] = batchJobRequest{Job: job}
+	}
+	raw, err := json.Marshal(batchRequest{Jobs: jobs, Budget: 100000, Econ: testEcon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/plan/batch", "application/json",
+				bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d, want 200", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServeGraceful verifies Serve drains and returns nil when the context
+// is cancelled.
+func TestServeGraceful(t *testing.T) {
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v after graceful shutdown, want nil", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package server implements chronosd, the online speculation-planning
+// service: a stdlib-only HTTP JSON front end over the chronos analytic and
+// simulation layers. A cluster scheduler consults it per arriving
+// deadline-critical job (POST /v1/plan), per admission batch under a shared
+// machine-time budget (POST /v1/plan/batch), and for offline what-if
+// analysis (GET /v1/tradeoff, POST /v1/simulate). Hot-path plans are served
+// from a sharded LRU cache keyed by quantized job parameters, and all
+// traffic is observable through GET /metrics in Prometheus text format.
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config shapes one chronosd instance. The zero value is usable: every
+// field has a production-sane default filled in by withDefaults.
+type Config struct {
+	// Addr is the listen address (host:port). Default ":8080".
+	Addr string
+
+	// CacheShards is the number of independently locked cache shards;
+	// rounded up to a power of two. Default 16.
+	CacheShards int
+	// CacheCapacity is the total number of cached plans across all shards.
+	// Zero means 4096; negative disables the cache.
+	CacheCapacity int
+
+	// Workers bounds the number of concurrent optimizations across all
+	// batch requests. Default GOMAXPROCS.
+	Workers int
+
+	// MaxBodyBytes caps request bodies; larger requests get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+
+	// MaxBatchJobs caps the jobs accepted by one /v1/plan/batch call.
+	// Default 1024.
+	MaxBatchJobs int
+	// MaxSimJobs and MaxSimTasks bound /v1/simulate runs (jobs per run,
+	// tasks per job) so a single request cannot monopolize the server.
+	// Defaults 500 and 5000.
+	MaxSimJobs  int
+	MaxSimTasks int
+	// MaxSimTotalTasks bounds the summed task count of one simulation
+	// request (the discrete-event cost driver). Default 50000.
+	MaxSimTotalTasks int
+	// MaxTradeoffPoints caps the r range of /v1/tradeoff. Default 256.
+	MaxTradeoffPoints int
+
+	// ReadTimeout, WriteTimeout and IdleTimeout are the http.Server
+	// limits. Defaults 10 s / 60 s / 120 s (writes include simulation
+	// runs, hence the longer budget).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// ShutdownGrace bounds graceful drain on shutdown. Default 10 s.
+	ShutdownGrace time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 1024
+	}
+	if c.MaxSimJobs <= 0 {
+		c.MaxSimJobs = 500
+	}
+	if c.MaxSimTasks <= 0 {
+		c.MaxSimTasks = 5000
+	}
+	if c.MaxSimTotalTasks <= 0 {
+		c.MaxSimTotalTasks = 50000
+	}
+	if c.MaxTradeoffPoints <= 0 {
+		c.MaxTradeoffPoints = 256
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}

@@ -1,0 +1,453 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"chronos"
+	"chronos/internal/optimize"
+)
+
+// --- wire types -----------------------------------------------------------
+
+// planRequest asks for one job's optimal speculation plan.
+type planRequest struct {
+	// Job and Econ parameterize the optimization.
+	Job  chronos.JobParams `json:"job"`
+	Econ chronos.Econ      `json:"econ"`
+	// Strategy optionally pins one Chronos strategy; empty or "best"
+	// optimizes all three and returns the utility winner.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+type planResponse struct {
+	Plan chronos.Plan `json:"plan"`
+	// Cached reports whether the plan came from the sharded plan cache.
+	Cached bool `json:"cached"`
+}
+
+// batchJobRequest is one member of a shared-budget batch.
+type batchJobRequest struct {
+	// Strategy pins the job's strategy; empty or "best" lets the server
+	// pick the per-job utility winner before the budget allocation.
+	Strategy string            `json:"strategy,omitempty"`
+	Job      chronos.JobParams `json:"job"`
+	// RMin is the job's minimum acceptable PoCD inside the allocator.
+	RMin float64 `json:"rmin,omitempty"`
+}
+
+type batchRequest struct {
+	Jobs []batchJobRequest `json:"jobs"`
+	// Budget is the shared machine-time budget B (must be positive).
+	Budget float64 `json:"budget"`
+	// Econ drives per-job strategy selection for jobs without a pinned
+	// strategy. Ignored (may be zero) when every job pins one.
+	Econ chronos.Econ `json:"econ,omitempty"`
+}
+
+type batchPlanResponse struct {
+	Strategy    chronos.Strategy `json:"strategy"`
+	R           int              `json:"r"`
+	PoCD        float64          `json:"pocd"`
+	MachineTime float64          `json:"machineTime"`
+}
+
+type batchResponse struct {
+	Plans []batchPlanResponse `json:"plans"`
+	// TotalMachineTime is the expected machine time of the allocation;
+	// always <= budget.
+	TotalMachineTime float64 `json:"totalMachineTime"`
+	Budget           float64 `json:"budget"`
+}
+
+type tradeoffPoint struct {
+	R           int     `json:"r"`
+	PoCD        float64 `json:"pocd"`
+	MachineTime float64 `json:"machineTime"`
+	Cost        float64 `json:"cost"`
+	// Utility is null when the point is below RMin (utility -Inf).
+	Utility *float64 `json:"utility"`
+}
+
+type tradeoffResponse struct {
+	Strategy chronos.Strategy `json:"strategy"`
+	Points   []tradeoffPoint  `json:"points"`
+}
+
+type simulateRequest struct {
+	Config chronos.SimConfig `json:"config"`
+	Jobs   []chronos.SimJob  `json:"jobs"`
+}
+
+type simulateResponse struct {
+	Jobs            int     `json:"jobs"`
+	PoCD            float64 `json:"pocd"`
+	MeanMachineTime float64 `json:"meanMachineTime"`
+	MeanCost        float64 `json:"meanCost"`
+	// Utility is null when the measured PoCD is at or below RMin.
+	Utility    *float64    `json:"utility"`
+	RHistogram map[int]int `json:"rHistogram,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- helpers --------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses the JSON body, writing 413 for oversize bodies (the
+// middleware installs http.MaxBytesReader) and 400 for malformed JSON.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// errInternal marks failures that are the server's fault, not the
+// request's.
+var errInternal = errors.New("internal error")
+
+// planStatus maps optimization failures to HTTP codes: infeasible problems
+// are well-formed but unsatisfiable (422), server-side faults are 500, and
+// everything else is a bad request.
+func planStatus(err error) int {
+	if errors.Is(err, errInternal) {
+		return http.StatusInternalServerError
+	}
+	if errors.Is(err, optimize.ErrInfeasible) ||
+		errors.Is(err, optimize.ErrBudgetTooSmall) ||
+		errors.Is(err, optimize.ErrUnreachablePoCD) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+// finitePtr returns &x, or nil when x is not a finite float (JSON has no
+// encoding for Inf/NaN).
+func finitePtr(x float64) *float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return nil
+	}
+	return &x
+}
+
+// --- handlers -------------------------------------------------------------
+
+// handlePlan serves POST /v1/plan: the per-arrival planning hot path. The
+// sharded cache short-circuits repeated requests for quantization-equal
+// jobs.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	strat, best, ok := keyStrategy(req.Strategy)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		return
+	}
+	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+	if plan, hit := s.cache.get(key); hit {
+		s.metrics.planServed(plan.Strategy.String())
+		writeJSON(w, http.StatusOK, planResponse{Plan: plan, Cached: true})
+		return
+	}
+	var plan chronos.Plan
+	var err error
+	if best {
+		plan, err = chronos.OptimizeBest(req.Job, req.Econ)
+	} else {
+		plan, err = chronos.Optimize(strat, req.Job, req.Econ)
+	}
+	if err != nil {
+		httpError(w, planStatus(err), "%v", err)
+		return
+	}
+	s.cache.put(key, plan)
+	s.metrics.planServed(plan.Strategy.String())
+	writeJSON(w, http.StatusOK, planResponse{Plan: plan})
+}
+
+// handleBatch serves POST /v1/plan/batch: shared-budget allocation across M
+// concurrent jobs. Per-job strategy selection (for jobs without a pinned
+// strategy) fans out across the bounded worker pool and reuses the plan
+// cache; the coupled budget split then runs through the greedy
+// marginal-gain allocator (optimize.BatchSolve).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		httpError(w, http.StatusBadRequest,
+			"batch has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxBatchJobs)
+		return
+	}
+	if !(req.Budget > 0) {
+		httpError(w, http.StatusBadRequest, "budget must be positive")
+		return
+	}
+
+	// Resolve every job's strategy, fanning the unpinned ones out across
+	// the worker pool (each selection is a full three-strategy solve or a
+	// cache hit).
+	strategies := make([]chronos.Strategy, len(req.Jobs))
+	errs := make([]error, len(req.Jobs))
+	s.pool.fanOut(len(req.Jobs), func(i int) {
+		// Pool goroutines run outside net/http's per-connection recover;
+		// contain panics to the one job instead of crashing the daemon.
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("job %d: %w: %v", i, errInternal, p)
+			}
+		}()
+		jr := req.Jobs[i]
+		strat, best, ok := keyStrategy(jr.Strategy)
+		if !ok {
+			errs[i] = fmt.Errorf("job %d: unknown strategy %q", i, jr.Strategy)
+			return
+		}
+		if !best {
+			strategies[i] = strat
+			return
+		}
+		key := planKey("", jr.Job, req.Econ)
+		if plan, hit := s.cache.get(key); hit {
+			strategies[i] = plan.Strategy
+			return
+		}
+		plan, err := chronos.OptimizeBest(jr.Job, req.Econ)
+		if err != nil {
+			errs[i] = fmt.Errorf("job %d: %w", i, err)
+			return
+		}
+		s.cache.put(key, plan)
+		strategies[i] = plan.Strategy
+	})
+	for _, err := range errs {
+		if err != nil {
+			httpError(w, planStatus(err), "%v", err)
+			return
+		}
+	}
+
+	batch := make([]chronos.BatchJob, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		batch[i] = chronos.BatchJob{Strategy: strategies[i], Params: jr.Job, RMin: jr.RMin}
+	}
+	plans, err := chronos.PlanBatch(batch, req.Budget)
+	if err != nil {
+		httpError(w, planStatus(err), "%v", err)
+		return
+	}
+
+	resp := batchResponse{Plans: make([]batchPlanResponse, len(plans)), Budget: req.Budget}
+	for i, p := range plans {
+		s.metrics.planServed(strategies[i].String())
+		resp.Plans[i] = batchPlanResponse{
+			Strategy:    strategies[i],
+			R:           p.R,
+			PoCD:        p.PoCD,
+			MachineTime: p.MachineTime,
+		}
+		resp.TotalMachineTime += p.MachineTime
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTradeoff serves GET /v1/tradeoff: the PoCD/cost frontier for one
+// strategy, r = 0..maxR.
+func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	strat, err := chronos.ParseStrategy(q.Get("strategy"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var params chronos.JobParams
+	var econ chronos.Econ
+	var parseErr error
+	qInt := func(name string, def int) int {
+		v := q.Get(name)
+		if v == "" {
+			return def
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("query param %s: %v", name, err)
+		}
+		return n
+	}
+	qFloat := func(name string, def float64) float64 {
+		v := q.Get(name)
+		if v == "" {
+			return def
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("query param %s: %v", name, err)
+		}
+		return f
+	}
+	params.Tasks = qInt("tasks", 0)
+	params.Deadline = qFloat("deadline", 0)
+	params.TMin = qFloat("tmin", 0)
+	params.Beta = qFloat("beta", 0)
+	params.TauEst = qFloat("tauEst", 0)
+	params.TauKill = qFloat("tauKill", 0)
+	params.PhiEst = qFloat("phiEst", 0)
+	econ.Theta = qFloat("theta", 1e-4)
+	econ.UnitPrice = qFloat("price", 1)
+	econ.RMin = qFloat("rmin", 0)
+	maxR := qInt("maxR", 8)
+	if parseErr != nil {
+		httpError(w, http.StatusBadRequest, "%v", parseErr)
+		return
+	}
+	if maxR < 0 || maxR > s.cfg.MaxTradeoffPoints {
+		httpError(w, http.StatusBadRequest,
+			"maxR must be in [0, %d]", s.cfg.MaxTradeoffPoints)
+		return
+	}
+	curve, err := chronos.TradeoffCurve(strat, params, econ, maxR)
+	if err != nil {
+		httpError(w, planStatus(err), "%v", err)
+		return
+	}
+	resp := tradeoffResponse{Strategy: strat, Points: make([]tradeoffPoint, len(curve))}
+	for i, pt := range curve {
+		resp.Points[i] = tradeoffPoint{
+			R:           pt.R,
+			PoCD:        pt.PoCD,
+			MachineTime: pt.MachineTime,
+			Cost:        pt.Cost,
+			Utility:     finitePtr(pt.Utility),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSimulate serves POST /v1/simulate: a bounded discrete-event what-if
+// run. Size limits keep one request from monopolizing the instance; larger
+// studies belong in the offline CLIs.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "simulation has no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxSimJobs {
+		httpError(w, http.StatusBadRequest,
+			"simulation has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxSimJobs)
+		return
+	}
+	if msg := validateSimBounds(s.cfg, req); msg != "" {
+		httpError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	report, err := chronos.Simulate(req.Config, req.Jobs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Jobs:            report.Jobs,
+		PoCD:            report.PoCD,
+		MeanMachineTime: report.MeanMachineTime,
+		MeanCost:        report.MeanCost,
+		Utility:         finitePtr(report.Utility),
+		RHistogram:      report.RHistogram,
+	})
+}
+
+// Hard sanity caps on /v1/simulate beyond the configurable task limits.
+// They bound the allocations and event counts one request can force
+// (cluster nodes, spot-price series length, failure-injection events); the
+// unbounded studies belong in the offline CLIs.
+const (
+	simMaxNodes        = 4096
+	simMaxSlotsPerNode = 64
+	simMaxDeadline     = 1e5 // seconds; also bounds the event horizon
+	simMaxArrival      = 1e6
+	simMinSpotStep     = 60 // seconds between repricings
+	simMinMTBF         = 60 // seconds between per-node failures
+)
+
+// validateSimBounds returns a rejection message, or "" when the request is
+// within serving bounds.
+func validateSimBounds(cfg Config, req simulateRequest) string {
+	c := req.Config
+	if c.Nodes < 0 || c.Nodes > simMaxNodes {
+		return fmt.Sprintf("nodes must be in [0, %d]", simMaxNodes)
+	}
+	if c.SlotsPerNode < 0 || c.SlotsPerNode > simMaxSlotsPerNode {
+		return fmt.Sprintf("slotsPerNode must be in [0, %d]", simMaxSlotsPerNode)
+	}
+	if c.Spot != nil && c.Spot.StepSeconds != 0 && c.Spot.StepSeconds < simMinSpotStep {
+		return fmt.Sprintf("spot.stepSeconds must be 0 (default) or >= %d", simMinSpotStep)
+	}
+	if c.Failures != nil && c.Failures.MTBF > 0 && c.Failures.MTBF < simMinMTBF {
+		return fmt.Sprintf("failures.mtbf must be >= %d seconds", simMinMTBF)
+	}
+	total := 0
+	for i, j := range req.Jobs {
+		if j.Tasks < 1 || j.ReduceTasks < 0 {
+			return fmt.Sprintf("job %d: tasks must be >= 1 and reduceTasks >= 0", i)
+		}
+		tasks := j.Tasks + j.ReduceTasks
+		if tasks > cfg.MaxSimTasks {
+			return fmt.Sprintf("job %d has %d tasks, limit %d per job", i, tasks, cfg.MaxSimTasks)
+		}
+		if !(j.Deadline > 0) || j.Deadline > simMaxDeadline {
+			return fmt.Sprintf("job %d: deadline must be in (0, %g]", i, float64(simMaxDeadline))
+		}
+		if j.Arrival < 0 || j.Arrival > simMaxArrival {
+			return fmt.Sprintf("job %d: arrival must be in [0, %g]", i, float64(simMaxArrival))
+		}
+		total += tasks
+	}
+	if total > cfg.MaxSimTotalTasks {
+		return fmt.Sprintf("simulation has %d total tasks, limit %d", total, cfg.MaxSimTotalTasks)
+	}
+	return ""
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.cache)
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"chronos/internal/metrics"
+)
+
+// serverMetrics aggregates the serving-side observability state: request
+// counts and latency histograms per endpoint, and plans served per
+// strategy. Rendering follows the Prometheus text exposition format.
+type serverMetrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	plans     map[string]*metrics.Counter
+
+	start time.Time
+}
+
+type endpointMetrics struct {
+	mu      sync.Mutex
+	codes   map[int]*metrics.Counter
+	latency *metrics.LatencyHistogram
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		endpoints: make(map[string]*endpointMetrics),
+		plans:     make(map[string]*metrics.Counter),
+		start:     time.Now(),
+	}
+}
+
+// endpoint returns the per-endpoint accumulator, creating it on first use.
+func (m *serverMetrics) endpoint(path string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[path]
+	if !ok {
+		em = &endpointMetrics{
+			codes:   make(map[int]*metrics.Counter),
+			latency: metrics.NewLatencyHistogram(),
+		}
+		m.endpoints[path] = em
+	}
+	return em
+}
+
+// observe records one finished request.
+func (em *endpointMetrics) observe(code int, seconds float64) {
+	em.mu.Lock()
+	c, ok := em.codes[code]
+	if !ok {
+		c = &metrics.Counter{}
+		em.codes[code] = c
+	}
+	em.mu.Unlock()
+	c.Inc()
+	em.latency.Observe(seconds)
+}
+
+// planServed counts one plan handed out for the named strategy.
+func (m *serverMetrics) planServed(strategy string) {
+	m.mu.Lock()
+	c, ok := m.plans[strategy]
+	if !ok {
+		c = &metrics.Counter{}
+		m.plans[strategy] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+// writePrometheus renders every metric in the text exposition format. The
+// cache is passed in so its gauges reflect the live shard state.
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache) {
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		endpoints = append(endpoints, p)
+	}
+	sort.Strings(endpoints)
+	strategies := make([]string, 0, len(m.plans))
+	for s := range m.plans {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP chronosd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE chronosd_requests_total counter")
+	for _, path := range endpoints {
+		em := m.endpoint(path)
+		em.mu.Lock()
+		codes := make([]int, 0, len(em.codes))
+		for c := range em.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		counts := make(map[int]uint64, len(codes))
+		for _, c := range codes {
+			counts[c] = em.codes[c].Value()
+		}
+		em.mu.Unlock()
+		for _, c := range codes {
+			fmt.Fprintf(w, "chronosd_requests_total{endpoint=%q,code=%q} %d\n",
+				path, strconv.Itoa(c), counts[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP chronosd_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE chronosd_request_duration_seconds histogram")
+	for _, path := range endpoints {
+		snap := m.endpoint(path).latency.Snapshot()
+		for i, bound := range snap.Bounds {
+			fmt.Fprintf(w, "chronosd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				path, strconv.FormatFloat(bound, 'g', -1, 64), snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "chronosd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n",
+			path, snap.Count)
+		fmt.Fprintf(w, "chronosd_request_duration_seconds_sum{endpoint=%q} %g\n", path, snap.Sum)
+		fmt.Fprintf(w, "chronosd_request_duration_seconds_count{endpoint=%q} %d\n", path, snap.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP chronosd_plans_total Plans served, by winning strategy.")
+	fmt.Fprintln(w, "# TYPE chronosd_plans_total counter")
+	for _, s := range strategies {
+		m.mu.Lock()
+		v := m.plans[s].Value()
+		m.mu.Unlock()
+		fmt.Fprintf(w, "chronosd_plans_total{strategy=%q} %d\n", s, v)
+	}
+
+	hits, misses := cache.stats()
+	fmt.Fprintln(w, "# HELP chronosd_plan_cache_hits_total Plan cache hits.")
+	fmt.Fprintln(w, "# TYPE chronosd_plan_cache_hits_total counter")
+	fmt.Fprintf(w, "chronosd_plan_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP chronosd_plan_cache_misses_total Plan cache misses.")
+	fmt.Fprintln(w, "# TYPE chronosd_plan_cache_misses_total counter")
+	fmt.Fprintf(w, "chronosd_plan_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP chronosd_plan_cache_entries Plans currently cached.")
+	fmt.Fprintln(w, "# TYPE chronosd_plan_cache_entries gauge")
+	fmt.Fprintf(w, "chronosd_plan_cache_entries %d\n", cache.len())
+
+	fmt.Fprintln(w, "# HELP chronosd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE chronosd_uptime_seconds gauge")
+	fmt.Fprintf(w, "chronosd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,36 @@
+package server
+
+import "sync"
+
+// workerPool bounds the total optimization concurrency across every
+// in-flight request, so a burst of large batch calls degrades into queueing
+// instead of spawning unbounded goroutines that thrash the scheduler.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workerPool{sem: make(chan struct{}, workers)}
+}
+
+// fanOut runs fn(0..n-1) with at most the pool's worker count in flight and
+// returns when all calls finish. Multiple concurrent fanOut calls share the
+// same bound.
+func (p *workerPool) fanOut(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

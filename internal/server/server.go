@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is one chronosd instance: HTTP handlers over the chronos planning
+// core, a sharded plan cache, a bounded optimization worker pool, and
+// Prometheus-style metrics.
+type Server struct {
+	cfg     Config
+	cache   *planCache
+	pool    *workerPool
+	metrics *serverMetrics
+	mux     *http.ServeMux
+}
+
+// New builds a server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheShards, cfg.CacheCapacity),
+		pool:    newWorkerPool(cfg.Workers),
+		metrics: newServerMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/plan", "/v1/plan", s.handlePlan)
+	s.route("POST /v1/plan/batch", "/v1/plan/batch", s.handleBatch)
+	s.route("GET /v1/tradeoff", "/v1/tradeoff", s.handleTradeoff)
+	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.route("GET /metrics", "/metrics", s.handleMetrics)
+	return s
+}
+
+// route registers pattern with the instrumentation middleware: request body
+// capping, latency measurement, and per-endpoint/status counting under the
+// stable label name.
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	em := s.metrics.endpoint(label)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		em.observe(rec.code, time.Since(start).Seconds())
+	})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the routed handler (also used by tests and embedders).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// drains gracefully within cfg.ShutdownGrace.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled (the listener is closed by the
+// underlying http.Server on shutdown). Useful with a port-0 listener in
+// tests and examples.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+		IdleTimeout:  s.cfg.IdleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		// Surface the Serve return (http.ErrServerClosed on clean exit).
+		if err := <-errCh; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}
+
+// CacheStats exposes hit/miss/size counters for logging and tests.
+func (s *Server) CacheStats() (hits, misses uint64, entries int) {
+	hits, misses = s.cache.stats()
+	return hits, misses, s.cache.len()
+}

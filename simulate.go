@@ -19,21 +19,23 @@ import (
 // SimJob is one job of a simulated stream.
 type SimJob struct {
 	// Tasks is the number of parallel map tasks.
-	Tasks int
+	Tasks int `json:"tasks"`
 	// Deadline is the job deadline in seconds after arrival.
-	Deadline float64
+	Deadline float64 `json:"deadline"`
 	// TMin and Beta parameterize the Pareto attempt execution times.
-	TMin, Beta float64
+	TMin float64 `json:"tmin"`
+	Beta float64 `json:"beta"`
 	// Arrival is the submission time (seconds from simulation start).
-	Arrival float64
+	Arrival float64 `json:"arrival,omitempty"`
 	// UnitPrice is the per-machine-second VM price; 0 means 1.
-	UnitPrice float64
+	UnitPrice float64 `json:"unitPrice,omitempty"`
 	// ReduceTasks optionally adds a reduce stage gated on map completion;
 	// 0 means a map-only job.
-	ReduceTasks int
+	ReduceTasks int `json:"reduceTasks,omitempty"`
 	// ReduceTMin and ReduceBeta parameterize reduce-task times; zeros
 	// inherit the map-stage values.
-	ReduceTMin, ReduceBeta float64
+	ReduceTMin float64 `json:"reduceTMin,omitempty"`
+	ReduceBeta float64 `json:"reduceBeta,omitempty"`
 }
 
 // TauScale selects how SimConfig's TauEst/TauKill are interpreted.
@@ -52,86 +54,90 @@ const (
 // SimConfig shapes one simulation run.
 type SimConfig struct {
 	// Strategy is the speculation policy driving every job.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy"`
 	// Nodes and SlotsPerNode size the cluster; zero means 256 x 8.
-	Nodes, SlotsPerNode int
+	Nodes        int `json:"nodes,omitempty"`
+	SlotsPerNode int `json:"slotsPerNode,omitempty"`
 	// Seed makes the run reproducible; equal seeds give identical runs and
 	// common random numbers across strategies.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// TauEst and TauKill position the Chronos control instants, scaled per
 	// TauScale. Zero values default to 0.3 and 0.6 of tmin.
-	TauEst, TauKill float64
+	TauEst  float64 `json:"tauEst,omitempty"`
+	TauKill float64 `json:"tauKill,omitempty"`
 	// TauScale selects the interpretation of TauEst/TauKill.
-	TauScale TauScale
+	TauScale TauScale `json:"tauScale,omitempty"`
 	// Econ drives the per-job optimizer and the reported utility. A zero
 	// value defaults to theta=1e-4, price 1, rmin 0.
-	Econ Econ
+	Econ Econ `json:"econ,omitempty"`
 	// FixedR bypasses the optimizer when >= 0 (ablations). Default: use
 	// the optimizer (any negative value, and 0 value is distinguished via
 	// UseFixedR).
-	FixedR int
+	FixedR int `json:"fixedR,omitempty"`
 	// UseFixedR enables FixedR (so that FixedR == 0 is expressible).
-	UseFixedR bool
+	UseFixedR bool `json:"useFixedR,omitempty"`
 	// JVMMin and JVMMax bound the attempt startup delay; zeros mean 1-3 s.
-	JVMMin, JVMMax float64
+	JVMMin float64 `json:"jvmMin,omitempty"`
+	JVMMax float64 `json:"jvmMax,omitempty"`
 	// ContentionP and ContentionMean, when positive, inject hotspot
 	// background load (probability and mean slowdown).
-	ContentionP, ContentionMean float64
+	ContentionP    float64 `json:"contentionP,omitempty"`
+	ContentionMean float64 `json:"contentionMean,omitempty"`
 	// Spot, when non-nil, prices machine time against a synthetic
 	// EC2-like spot market instead of the fixed Econ.UnitPrice.
-	Spot *SpotMarket
+	Spot *SpotMarket `json:"spot,omitempty"`
 	// Failures, when non-nil, injects random node failures; running
 	// attempts on a failing node are lost and strategies relaunch them.
-	Failures *FailureModel
+	Failures *FailureModel `json:"failures,omitempty"`
 	// UseHadoopEstimator makes the Chronos strategies predict completion
 	// times with Hadoop's default (JVM-oblivious) estimator instead of the
 	// paper's Eq. 30. Exists for the estimator ablation: it re-creates the
 	// false-positive straggler detections the paper fixes.
-	UseHadoopEstimator bool
+	UseHadoopEstimator bool `json:"useHadoopEstimator,omitempty"`
 	// ReportInterval, when > 0, restricts the AM to periodic progress
 	// reports instead of continuous exact observation (as in real Hadoop).
-	ReportInterval float64
+	ReportInterval float64 `json:"reportInterval,omitempty"`
 	// ReportNoise adds relative Gaussian error to each report (e.g. 0.1);
 	// meaningful only with ReportInterval > 0.
-	ReportNoise float64
+	ReportNoise float64 `json:"reportNoise,omitempty"`
 }
 
 // FailureModel configures node-failure injection.
 type FailureModel struct {
 	// MTBF is the per-node mean time between failures (seconds).
-	MTBF float64
+	MTBF float64 `json:"mtbf"`
 	// MTTR is the mean node repair time (seconds); zero means failed
 	// nodes stay down.
-	MTTR float64
+	MTTR float64 `json:"mttr,omitempty"`
 }
 
 // SpotMarket configures time-varying VM pricing: a mean-reverting synthetic
 // series standing in for EC2 spot-price history (see DESIGN.md).
 type SpotMarket struct {
 	// Mean is the long-run unit price.
-	Mean float64
+	Mean float64 `json:"mean"`
 	// Volatility is the per-step relative shock magnitude (default 0.15).
-	Volatility float64
+	Volatility float64 `json:"volatility,omitempty"`
 	// StepSeconds is the repricing interval (default 300 s).
-	StepSeconds float64
+	StepSeconds float64 `json:"stepSeconds,omitempty"`
 	// Seed drives the shocks (default: the simulation seed).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Report summarizes one simulation run.
 type Report struct {
 	// Jobs is the number of jobs simulated.
-	Jobs int
+	Jobs int `json:"jobs"`
 	// PoCD is the fraction of jobs meeting their deadline.
-	PoCD float64
+	PoCD float64 `json:"pocd"`
 	// MeanMachineTime and MeanCost are per-job averages.
-	MeanMachineTime float64
-	MeanCost        float64
+	MeanMachineTime float64 `json:"meanMachineTime"`
+	MeanCost        float64 `json:"meanCost"`
 	// Utility is the measured net utility under the run's Econ.
-	Utility float64
+	Utility float64 `json:"utility"`
 	// RHistogram counts the optimizer-chosen r values (empty for
 	// baselines).
-	RHistogram map[int]int
+	RHistogram map[int]int `json:"rHistogram,omitempty"`
 }
 
 // Simulate executes the job stream under the configured strategy on the
