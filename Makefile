@@ -1,0 +1,32 @@
+# Local targets mirror .github/workflows/ci.yml one for one, so `make ci`
+# reproduces exactly what a PR is gated on.
+
+GO ?= go
+
+.PHONY: all fmt vet build test bench cover ci
+
+all: build
+
+fmt: ## fail if any file needs gofmt
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench: ## one-iteration benchmark smoke run (the CI bench-smoke job)
+	@$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.txt 2>&1; \
+		rc=$$?; cat bench.txt; exit $$rc
+
+cover: ## -race suite + per-package coverage + the server+tenant gate
+	./scripts/coverage.sh
+
+# cover subsumes test (its single -race run is both gates), so ci does not
+# execute the suite twice.
+ci: fmt vet build cover bench

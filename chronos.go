@@ -246,6 +246,60 @@ func OptimizeBest(p JobParams, e Econ) (Plan, error) {
 	return best, nil
 }
 
+// OptimizeWithinBudget solves the joint optimization for one strategy
+// subject to an expected-machine-time cap — the admission-control form of
+// Algorithm 1, where an arriving job may only spend what its tenant's
+// ledger still holds. Returns ErrInfeasible when no r reaches PoCD above
+// RMin regardless of budget, and ErrBudgetTooSmall (both from the optimize
+// package) when feasible plans exist but none fits the budget.
+func OptimizeWithinBudget(s Strategy, p JobParams, e Econ, budget float64) (Plan, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return Plan{}, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := optimize.SolveCapped(analysis.NewModel(kind, ap), optimize.Config(e), budget)
+	if err != nil {
+		return Plan{}, err
+	}
+	return planFromResult(s, res), nil
+}
+
+// OptimizeBestWithinBudget runs OptimizeWithinBudget for all three Chronos
+// strategies and returns the affordable plan with the highest net utility.
+// When every strategy fails, ErrBudgetTooSmall is preferred over
+// ErrInfeasible if any strategy was merely unaffordable (a bigger budget
+// would have admitted it).
+func OptimizeBestWithinBudget(p JobParams, e Econ, budget float64) (Plan, error) {
+	best := Plan{}
+	found, sawBudget := false, false
+	for _, s := range ChronosStrategies() {
+		plan, err := OptimizeWithinBudget(s, p, e, budget)
+		switch {
+		case errors.Is(err, optimize.ErrBudgetTooSmall):
+			sawBudget = true
+			continue
+		case errors.Is(err, optimize.ErrInfeasible):
+			continue
+		case err != nil:
+			return Plan{}, err
+		}
+		if !found || plan.Utility > best.Utility {
+			best, found = plan, true
+		}
+	}
+	if !found {
+		if sawBudget {
+			return Plan{}, optimize.ErrBudgetTooSmall
+		}
+		return Plan{}, optimize.ErrInfeasible
+	}
+	return best, nil
+}
+
 // MinCostForPoCD returns the cheapest plan for the strategy that reaches
 // the PoCD target — the "budget for a desired SLA" direction of the
 // tradeoff.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"chronos/internal/optimize"
 )
 
 func apiParams() JobParams {
@@ -116,6 +118,41 @@ func TestOptimizeBest(t *testing.T) {
 		if plan.Utility > best.Utility+1e-12 {
 			t.Errorf("OptimizeBest missed %v with utility %v > %v", s, plan.Utility, best.Utility)
 		}
+	}
+}
+
+func TestOptimizeWithinBudget(t *testing.T) {
+	un, err := OptimizeBest(apiParams(), apiEcon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose budget: identical to the unconstrained solve.
+	got, err := OptimizeBestWithinBudget(apiParams(), apiEcon(), un.MachineTime*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != un {
+		t.Errorf("loose budget changed the plan: got %+v, want %+v", got, un)
+	}
+	// Tight budget: the plan must fit.
+	r0, err := ExpectedMachineTime(un.Strategy, apiParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := (r0 + un.MachineTime) / 2
+	got, err = OptimizeBestWithinBudget(apiParams(), apiEcon(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MachineTime > budget {
+		t.Errorf("plan costs %v, budget %v", got.MachineTime, budget)
+	}
+	// Unpayable budget.
+	if _, err := OptimizeBestWithinBudget(apiParams(), apiEcon(), 1e-9); !errors.Is(err, optimize.ErrBudgetTooSmall) {
+		t.Errorf("tiny budget: err = %v, want ErrBudgetTooSmall", err)
+	}
+	if _, err := OptimizeWithinBudget(LATE, apiParams(), apiEcon(), 1e9); !errors.Is(err, ErrNotAnalytic) {
+		t.Errorf("baseline accepted: %v", err)
 	}
 }
 

@@ -1,21 +1,27 @@
 // Command chronosd runs the online speculation-planning service: an HTTP
 // JSON API over the Chronos PoCD/cost optimization, with a sharded plan
-// cache, a bounded optimization worker pool, Prometheus metrics, and
-// graceful shutdown on SIGINT/SIGTERM.
+// cache, a bounded optimization worker pool, multi-tenant budget pools,
+// Prometheus metrics, and graceful shutdown on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	chronosd [-addr :8080] [-cache-capacity 4096] [-cache-shards 16]
 //	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
+//	         [-tenants tenants.json]
 //
 // Endpoints:
 //
 //	POST /v1/plan        optimal plan for one job (cached hot path)
 //	POST /v1/plan/batch  shared-budget allocation across a job batch
+//	POST /v1/admit       online admission control against a tenant budget pool
 //	GET  /v1/tradeoff    PoCD/cost frontier for one strategy
 //	POST /v1/simulate    bounded discrete-event what-if run
 //	GET  /metrics        Prometheus text metrics
 //	GET  /healthz        liveness probe
+//
+// With -tenants, SIGHUP re-reads the config file, carries live ledger
+// levels over for pools whose budget shape is unchanged, and flushes the
+// plan cache. A failed reload keeps the previous configuration.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"chronos/internal/server"
+	"chronos/internal/tenant"
 )
 
 func main() {
@@ -45,8 +52,20 @@ func main() {
 		readTimeout   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		grace         = flag.Duration("shutdown-grace", 10*time.Second, "graceful drain budget on shutdown")
+		tenantsPath   = flag.String("tenants", "", "tenant budget-pool config file (JSON); SIGHUP reloads it")
 	)
 	flag.Parse()
+
+	var tenants *tenant.Registry
+	if *tenantsPath != "" {
+		var err error
+		tenants, err = tenant.LoadFile(*tenantsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chronosd:", err)
+			os.Exit(1)
+		}
+		log.Printf("chronosd loaded %d tenant pool(s) from %s", tenants.Len(), *tenantsPath)
+	}
 
 	srv := server.New(server.Config{
 		Addr:             *addr,
@@ -61,11 +80,35 @@ func main() {
 		ReadTimeout:      *readTimeout,
 		WriteTimeout:     *writeTimeout,
 		ShutdownGrace:    *grace,
+		Tenants:          tenants,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *tenantsPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					reloaded, err := tenant.LoadFile(*tenantsPath)
+					if err != nil {
+						log.Printf("chronosd: SIGHUP reload failed, keeping previous tenants: %v", err)
+						continue
+					}
+					reloaded.Rebase(srv.Tenants())
+					srv.SetTenants(reloaded)
+					log.Printf("chronosd reloaded %d tenant pool(s) from %s (plan cache flushed)",
+						reloaded.Len(), *tenantsPath)
+				}
+			}
+		}()
+	}
 
 	log.Printf("chronosd listening on %s", *addr)
 	if err := srv.ListenAndServe(ctx); err != nil {

@@ -1,0 +1,142 @@
+// Example admission starts an in-process chronosd instance with two tenant
+// budget pools (loaded from the adjacent tenants.json, the same format the
+// chronosd -tenants flag reads) and plays the paper's online setting: jobs
+// arrive one at a time and POST /v1/admit answers accept/reject plus a plan
+// in one round trip, debiting each accepted plan's expected machine time
+// from the tenant's ledger. Once the pool runs dry the optimizer first
+// squeezes plans down to what the remaining budget affords, then rejects
+// with a structured reason.
+//
+// Run with:
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"bytes"
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"chronos/internal/server"
+	"chronos/internal/tenant"
+)
+
+//go:embed tenants.json
+var tenantsJSON []byte
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "admission:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pools, err := tenant.Parse(tenantsJSON)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{Tenants: pools})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("chronosd serving on", base)
+
+	job := map[string]any{
+		"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5,
+		"tauEst": 30, "tauKill": 60,
+	}
+
+	// A stream of identical deadline-critical jobs for one tenant. The
+	// econ field is omitted: the pool's defaults (theta, unitPrice, rmin)
+	// apply. Watch the ledger drain, the plans shrink, and the admissions
+	// flip to structured rejections.
+	fmt.Println("\n--- POST /v1/admit until etl-nightly is exhausted ---")
+	for i := 1; ; i++ {
+		body, err := post(base+"/v1/admit", map[string]any{
+			"tenant": "etl-nightly", "job": job,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %2d: %s\n", i, body)
+		if strings.Contains(body, `"admitted":false`) {
+			break
+		}
+		if i > 50 {
+			return fmt.Errorf("pool never exhausted after %d admits", i)
+		}
+	}
+
+	// The same ledger also backs tenant-routed planning: /v1/plan with a
+	// tenant field debits the pool (429 once it cannot pay).
+	fmt.Println("\n--- POST /v1/plan routed through the ad-hoc pool ---")
+	for i := 1; i <= 3; i++ {
+		body, err := post(base+"/v1/plan", map[string]any{
+			"tenant": "ad-hoc", "job": job,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan %d: %s\n", i, body)
+	}
+
+	// Per-tenant observability: admits, rejects by reason, plans by
+	// strategy, and the live ledger levels.
+	fmt.Println("\n--- GET /metrics (tenant excerpt) ---")
+	body, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "chronosd_tenant_") {
+			fmt.Println(line)
+		}
+	}
+
+	cancel()
+	return <-done
+}
+
+func post(url string, payload any) (string, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(body)), nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(body)), nil
+}

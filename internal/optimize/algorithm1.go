@@ -39,8 +39,12 @@ func Solve(m analysis.Model, cfg Config) (Result, error) {
 	}
 	// The bracketing and binary-search phases revisit r values; cache the
 	// closed-form evaluations for the duration of the solve.
-	m = Memoize(m)
+	return solveMemoized(Memoize(m), cfg)
+}
 
+// solveMemoized is Solve after validation and memoization, shared with
+// SolveCapped so a constrained solve reuses the same model evaluations.
+func solveMemoized(m analysis.Model, cfg Config) (Result, error) {
 	gamma := m.Gamma()
 	start := int(math.Ceil(gamma))
 	if start < 0 {

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"chronos"
+	"chronos/internal/optimize"
+	"chronos/internal/tenant"
+)
+
+// Structured rejection reasons reported by POST /v1/admit and used as the
+// reason label on chronosd_tenant_rejects_total.
+const (
+	// ReasonBudgetExhausted: the tenant's ledger cannot pay for any
+	// feasible plan right now. With a refilling pool the job may be
+	// admittable later.
+	ReasonBudgetExhausted = "budget_exhausted"
+	// ReasonInfeasible: no attempt count reaches the tenant's required
+	// PoCD — the deadline cannot be met at RMin no matter the budget.
+	ReasonInfeasible = "infeasible_deadline"
+)
+
+// admitDebitRetries bounds the solve-then-debit loop. The solve runs
+// against a snapshot of the pool's level; when a concurrent admit wins the
+// race for that remainder the debit fails and the job is re-planned against
+// the shrunken ledger instead of over-committing it.
+const admitDebitRetries = 3
+
+// admitRequest asks for an online admission decision: can this tenant
+// afford a feasible speculation plan for the arriving job?
+type admitRequest struct {
+	// Tenant names the budget pool to admit against. Required.
+	Tenant string `json:"tenant"`
+	// Job parameterizes the arriving job.
+	Job chronos.JobParams `json:"job"`
+	// Strategy optionally pins one Chronos strategy; empty or "best"
+	// optimizes all three.
+	Strategy string `json:"strategy,omitempty"`
+	// Econ overrides the tenant's planning defaults field by field; zero
+	// fields fall back to the pool's theta, unit price, and RMin.
+	Econ chronos.Econ `json:"econ,omitempty"`
+}
+
+type admitResponse struct {
+	Admitted bool   `json:"admitted"`
+	Tenant   string `json:"tenant"`
+	// Plan is the admitted speculation plan, already debited from the
+	// pool. Absent on rejection.
+	Plan *chronos.Plan `json:"plan,omitempty"`
+	// Reason is the structured rejection reason (ReasonBudgetExhausted or
+	// ReasonInfeasible). Absent on admission.
+	Reason string `json:"reason,omitempty"`
+	// BudgetRemaining is the pool's machine-time level after the decision.
+	BudgetRemaining float64 `json:"budgetRemaining"`
+}
+
+// handleAdmit serves POST /v1/admit: accept/reject + plan in one round
+// trip, the paper's online setting. The optimizer runs against the tenant's
+// remaining budget; an accepted plan is debited atomically, a rejection
+// carries a structured reason.
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req admitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	pool, ok := s.lookupPool(w, req.Tenant)
+	if !ok {
+		return
+	}
+	strat, best, ok := keyStrategy(req.Strategy)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		return
+	}
+	econ := tenantEcon(req.Econ, pool)
+
+	reject := func(reason string, remaining float64) {
+		s.metrics.tenantReject(req.Tenant, reason)
+		writeJSON(w, http.StatusOK, admitResponse{
+			Tenant: req.Tenant, Reason: reason, BudgetRemaining: remaining,
+		})
+	}
+
+	for attempt := 0; attempt < admitDebitRetries; attempt++ {
+		remaining := pool.Remaining()
+		plan, err := s.planWithinBudget(strat, best, req.Job, econ, remaining)
+		if err != nil {
+			if reason := rejectReason(err); reason != "" {
+				reject(reason, remaining)
+				return
+			}
+			httpError(w, planStatus(err), "%v", err)
+			return
+		}
+		if ok, rem := pool.TryDebit(plan.MachineTime); ok {
+			s.metrics.planServed(plan.Strategy.String())
+			s.metrics.tenantAdmit(req.Tenant, plan.Strategy.String())
+			writeJSON(w, http.StatusOK, admitResponse{
+				Admitted: true, Tenant: req.Tenant, Plan: &plan, BudgetRemaining: rem,
+			})
+			return
+		}
+		// A concurrent admit drained the snapshot we planned against;
+		// re-plan against the new level.
+	}
+	reject(ReasonBudgetExhausted, pool.Remaining())
+}
+
+// cachedPlan returns the unconstrained optimal plan for one job,
+// consulting and populating the sharded plan cache. Every planning path —
+// /v1/plan, the batch strategy fan-out, and admission control — goes
+// through here, so cache policy lives in one place.
+func (s *Server) cachedPlan(strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
+	key := planKey(cacheStrategyName(strat, best), job, econ)
+	if plan, hit := s.cache.get(key); hit {
+		return plan, true, nil
+	}
+	if best {
+		plan, err = chronos.OptimizeBest(job, econ)
+	} else {
+		plan, err = chronos.Optimize(strat, job, econ)
+	}
+	if err != nil {
+		return chronos.Plan{}, false, err
+	}
+	s.cache.put(key, plan)
+	return plan, false, nil
+}
+
+// planWithinBudget returns the best plan whose expected machine time fits
+// budget. The unconstrained optimum is looked up in (and populates) the
+// plan cache — squeezed plans depend on the transient ledger level and are
+// never cached.
+func (s *Server) planWithinBudget(strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
+	plan, _, err := s.cachedPlan(strat, best, job, econ)
+	if err != nil {
+		return chronos.Plan{}, err
+	}
+	if plan.MachineTime <= budget {
+		return plan, nil
+	}
+	// The capped solve re-derives the unconstrained optimum internally (one
+	// extra memoized solve per strategy). Accepted: this branch only runs
+	// when the pool is nearly drained, where correctness of the squeeze
+	// matters and throughput does not.
+	if best {
+		return chronos.OptimizeBestWithinBudget(job, econ, budget)
+	}
+	return chronos.OptimizeWithinBudget(strat, job, econ, budget)
+}
+
+// rejectBudget answers a tenant-routed /v1/plan or /v1/plan/batch whose
+// ledger cannot pay: 429 with the structured reason, counted per tenant.
+// (/v1/admit reports the same condition in its own 200 decision payload.)
+func (s *Server) rejectBudget(w http.ResponseWriter, tenantName, format string, args ...any) {
+	s.metrics.tenantReject(tenantName, ReasonBudgetExhausted)
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error:  fmt.Sprintf(format, args...),
+		Reason: ReasonBudgetExhausted,
+	})
+}
+
+// rejectReason maps optimization failures onto the admission-control
+// rejection vocabulary; "" marks errors that are the request's fault
+// (reported as HTTP errors instead).
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, optimize.ErrBudgetTooSmall):
+		return ReasonBudgetExhausted
+	case errors.Is(err, optimize.ErrInfeasible):
+		return ReasonInfeasible
+	}
+	return ""
+}
+
+// lookupPool resolves a tenant name against the live registry, writing the
+// HTTP error on failure.
+func (s *Server) lookupPool(w http.ResponseWriter, name string) (*tenant.Pool, bool) {
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "tenant is required")
+		return nil, false
+	}
+	reg := s.tenants.Load()
+	if reg.Len() == 0 {
+		httpError(w, http.StatusNotFound, "no tenant pools configured")
+		return nil, false
+	}
+	pool := reg.Get(name)
+	if pool == nil {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return nil, false
+	}
+	return pool, true
+}
+
+// tenantEcon fills zero economic fields from the pool's defaults.
+func tenantEcon(e chronos.Econ, pool *tenant.Pool) chronos.Econ {
+	l := pool.Limits()
+	if e.Theta == 0 {
+		e.Theta = l.Theta
+	}
+	if e.UnitPrice == 0 {
+		e.UnitPrice = l.UnitPrice
+	}
+	if e.RMin == 0 {
+		e.RMin = l.RMin
+	}
+	return e
+}

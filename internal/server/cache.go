@@ -120,6 +120,21 @@ func (c *planCache) put(key string, plan chronos.Plan) {
 	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, plan: plan})
 }
 
+// flush empties every shard. Called when the tenant config is hot-reloaded,
+// so no plan computed under the old defaults outlives the config change.
+func (c *planCache) flush() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element, s.capacity)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
 // len sums the shard sizes.
 func (c *planCache) len() int {
 	if c == nil {

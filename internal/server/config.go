@@ -11,6 +11,8 @@ package server
 import (
 	"runtime"
 	"time"
+
+	"chronos/internal/tenant"
 )
 
 // Config shapes one chronosd instance. The zero value is usable: every
@@ -47,6 +49,12 @@ type Config struct {
 	MaxSimTotalTasks int
 	// MaxTradeoffPoints caps the r range of /v1/tradeoff. Default 256.
 	MaxTradeoffPoints int
+
+	// Tenants is the initial multi-tenant budget registry. Nil disables
+	// tenant routing: /v1/admit answers 404 and the tenant field on
+	// /v1/plan and /v1/plan/batch is rejected. Swappable at runtime with
+	// Server.SetTenants.
+	Tenants *tenant.Registry
 
 	// ReadTimeout, WriteTimeout and IdleTimeout are the http.Server
 	// limits. Defaults 10 s / 60 s / 120 s (writes include simulation

@@ -10,6 +10,7 @@ import (
 
 	"chronos"
 	"chronos/internal/optimize"
+	"chronos/internal/tenant"
 )
 
 // --- wire types -----------------------------------------------------------
@@ -22,12 +23,19 @@ type planRequest struct {
 	// Strategy optionally pins one Chronos strategy; empty or "best"
 	// optimizes all three and returns the utility winner.
 	Strategy string `json:"strategy,omitempty"`
+	// Tenant optionally routes the plan through a named budget pool: zero
+	// econ fields take the tenant's defaults and the plan's machine time
+	// is debited from the pool's ledger (429 when it cannot cover it).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 type planResponse struct {
 	Plan chronos.Plan `json:"plan"`
 	// Cached reports whether the plan came from the sharded plan cache.
 	Cached bool `json:"cached"`
+	// BudgetRemaining is the tenant pool's post-debit level; present only
+	// for tenant-routed requests.
+	BudgetRemaining *float64 `json:"budgetRemaining,omitempty"`
 }
 
 // batchJobRequest is one member of a shared-budget batch.
@@ -37,16 +45,26 @@ type batchJobRequest struct {
 	Strategy string            `json:"strategy,omitempty"`
 	Job      chronos.JobParams `json:"job"`
 	// RMin is the job's minimum acceptable PoCD inside the allocator.
+	// Zero falls back to the batch econ's rmin (which tenant routing fills
+	// from the pool's default), so a tenant's PoCD floor binds pinned jobs
+	// too.
 	RMin float64 `json:"rmin,omitempty"`
 }
 
 type batchRequest struct {
 	Jobs []batchJobRequest `json:"jobs"`
-	// Budget is the shared machine-time budget B (must be positive).
+	// Budget is the shared machine-time budget B. Must be positive unless
+	// Tenant is set, in which case it is optional and is additionally
+	// capped by the pool's remaining budget.
 	Budget float64 `json:"budget"`
 	// Econ drives per-job strategy selection for jobs without a pinned
 	// strategy. Ignored (may be zero) when every job pins one.
 	Econ chronos.Econ `json:"econ,omitempty"`
+	// Tenant optionally routes the batch through a named budget pool: the
+	// allocation runs against min(Budget, pool remaining) and its total
+	// machine time is debited from the ledger (429 when it cannot cover
+	// it).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 type batchPlanResponse struct {
@@ -61,7 +79,12 @@ type batchResponse struct {
 	// TotalMachineTime is the expected machine time of the allocation;
 	// always <= budget.
 	TotalMachineTime float64 `json:"totalMachineTime"`
-	Budget           float64 `json:"budget"`
+	// Budget is the effective budget the allocation ran against (the
+	// request's budget, capped by the tenant pool when routed).
+	Budget float64 `json:"budget"`
+	// BudgetRemaining is the tenant pool's post-debit level; present only
+	// for tenant-routed requests.
+	BudgetRemaining *float64 `json:"budgetRemaining,omitempty"`
 }
 
 type tradeoffPoint struct {
@@ -95,6 +118,9 @@ type simulateResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Reason carries the structured admission-control reason on
+	// tenant-ledger rejections (e.g. "budget_exhausted").
+	Reason string `json:"reason,omitempty"`
 }
 
 // --- helpers --------------------------------------------------------------
@@ -157,7 +183,8 @@ func finitePtr(x float64) *float64 {
 
 // handlePlan serves POST /v1/plan: the per-arrival planning hot path. The
 // sharded cache short-circuits repeated requests for quantization-equal
-// jobs.
+// jobs. Tenant-routed requests additionally debit the plan's machine time
+// from the named pool, with 429 when the ledger cannot cover it.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if !decode(w, r, &req) {
@@ -168,26 +195,32 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
-	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
-	if plan, hit := s.cache.get(key); hit {
-		s.metrics.planServed(plan.Strategy.String())
-		writeJSON(w, http.StatusOK, planResponse{Plan: plan, Cached: true})
-		return
+	var pool *tenant.Pool
+	if req.Tenant != "" {
+		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+			return
+		}
+		req.Econ = tenantEcon(req.Econ, pool)
 	}
-	var plan chronos.Plan
-	var err error
-	if best {
-		plan, err = chronos.OptimizeBest(req.Job, req.Econ)
-	} else {
-		plan, err = chronos.Optimize(strat, req.Job, req.Econ)
-	}
+	plan, cached, err := s.cachedPlan(strat, best, req.Job, req.Econ)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
 		return
 	}
-	s.cache.put(key, plan)
+	resp := planResponse{Plan: plan, Cached: cached}
+	if pool != nil {
+		ok, rem := pool.TryDebit(plan.MachineTime)
+		if !ok {
+			s.rejectBudget(w, req.Tenant,
+				"tenant %q cannot cover the plan: needs %g machine-seconds, %g remaining",
+				req.Tenant, plan.MachineTime, rem)
+			return
+		}
+		s.metrics.tenantAdmit(req.Tenant, plan.Strategy.String())
+		resp.BudgetRemaining = &rem
+	}
 	s.metrics.planServed(plan.Strategy.String())
-	writeJSON(w, http.StatusOK, planResponse{Plan: plan})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleBatch serves POST /v1/plan/batch: shared-budget allocation across M
@@ -209,8 +242,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"batch has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxBatchJobs)
 		return
 	}
-	if !(req.Budget > 0) {
-		httpError(w, http.StatusBadRequest, "budget must be positive")
+	var pool *tenant.Pool
+	if req.Tenant != "" {
+		var ok bool
+		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+			return
+		}
+		req.Econ = tenantEcon(req.Econ, pool)
+	}
+	if pool == nil {
+		if !(req.Budget > 0) {
+			httpError(w, http.StatusBadRequest, "budget must be positive")
+			return
+		}
+	} else if req.Budget < 0 || math.IsNaN(req.Budget) {
+		// Only an omitted (zero) budget means "use the pool's remainder";
+		// a negative or NaN budget is malformed, not a full-pool grant.
+		httpError(w, http.StatusBadRequest,
+			"budget must be positive, or omitted for tenant-routed batches")
 		return
 	}
 
@@ -237,17 +286,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			strategies[i] = strat
 			return
 		}
-		key := planKey("", jr.Job, req.Econ)
-		if plan, hit := s.cache.get(key); hit {
-			strategies[i] = plan.Strategy
-			return
-		}
-		plan, err := chronos.OptimizeBest(jr.Job, req.Econ)
+		plan, _, err := s.cachedPlan(0, true, jr.Job, req.Econ)
 		if err != nil {
 			errs[i] = fmt.Errorf("job %d: %w", i, err)
 			return
 		}
-		s.cache.put(key, plan)
 		strategies[i] = plan.Strategy
 	})
 	for _, err := range errs {
@@ -259,17 +302,83 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	batch := make([]chronos.BatchJob, len(req.Jobs))
 	for i, jr := range req.Jobs {
-		batch[i] = chronos.BatchJob{Strategy: strategies[i], Params: jr.Job, RMin: jr.RMin}
-	}
-	plans, err := chronos.PlanBatch(batch, req.Budget)
-	if err != nil {
-		httpError(w, planStatus(err), "%v", err)
-		return
+		rmin := jr.RMin
+		if rmin == 0 {
+			rmin = req.Econ.RMin
+		}
+		batch[i] = chronos.BatchJob{Strategy: strategies[i], Params: jr.Job, RMin: rmin}
 	}
 
-	resp := batchResponse{Plans: make([]batchPlanResponse, len(plans)), Budget: req.Budget}
+	// Allocate and, when tenant-routed, debit the allocation's total
+	// machine time from the pool. The allocation runs against a snapshot
+	// of the ledger; a failed debit means a concurrent request drained it,
+	// so re-allocate against the new level instead of over-committing.
+	var (
+		plans           []chronos.BatchPlan
+		budget          float64
+		total           float64
+		budgetRemaining *float64
+	)
+	for attempt := 0; ; attempt++ {
+		budget = req.Budget
+		capped := false // whether the pool, not the request, set the budget
+		if pool != nil {
+			remaining := pool.Remaining()
+			if budget <= 0 || budget > remaining {
+				budget = remaining
+				capped = true
+			}
+		}
+		var err error
+		plans, err = chronos.PlanBatch(batch, budget)
+		if err != nil {
+			// A too-small budget is only the tenant ledger's fault when
+			// the ledger set it; an explicit request budget below the r=0
+			// floor gets the same 422 a tenantless batch would.
+			if capped && errors.Is(err, optimize.ErrBudgetTooSmall) {
+				s.rejectBudget(w, req.Tenant,
+					"tenant %q cannot cover the batch: %v", req.Tenant, err)
+				return
+			}
+			httpError(w, planStatus(err), "%v", err)
+			return
+		}
+		total = 0
+		for _, p := range plans {
+			total += p.MachineTime
+		}
+		if pool == nil {
+			break
+		}
+		// BatchSolve tolerates 1e-9 of float slop above its budget; clamp
+		// the debit to the allocation budget so the ledger's strict
+		// comparison cannot deterministically reject an affordable batch.
+		debit := total
+		if debit > budget {
+			debit = budget
+		}
+		if ok, rem := pool.TryDebit(debit); ok {
+			budgetRemaining = &rem
+			break
+		}
+		if attempt+1 >= admitDebitRetries {
+			s.rejectBudget(w, req.Tenant,
+				"tenant %q cannot cover the batch: needs %g machine-seconds",
+				req.Tenant, total)
+			return
+		}
+	}
+
+	resp := batchResponse{
+		Plans:           make([]batchPlanResponse, len(plans)),
+		Budget:          budget,
+		BudgetRemaining: budgetRemaining,
+	}
 	for i, p := range plans {
 		s.metrics.planServed(strategies[i].String())
+		if pool != nil {
+			s.metrics.tenantAdmit(req.Tenant, strategies[i].String())
+		}
 		resp.Plans[i] = batchPlanResponse{
 			Strategy:    strategies[i],
 			R:           p.R,
@@ -449,5 +558,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.cache)
+	s.metrics.writePrometheus(w, s.cache, s.tenants.Load())
 }

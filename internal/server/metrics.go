@@ -9,17 +9,28 @@ import (
 	"time"
 
 	"chronos/internal/metrics"
+	"chronos/internal/tenant"
 )
 
 // serverMetrics aggregates the serving-side observability state: request
-// counts and latency histograms per endpoint, and plans served per
-// strategy. Rendering follows the Prometheus text exposition format.
+// counts and latency histograms per endpoint, plans served per strategy,
+// and per-tenant admission counters. Rendering follows the Prometheus text
+// exposition format.
 type serverMetrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 	plans     map[string]*metrics.Counter
+	tenants   map[string]*tenantMetrics
 
 	start time.Time
+}
+
+// tenantMetrics accumulates one tenant's admission-control counters.
+type tenantMetrics struct {
+	mu      sync.Mutex
+	admits  metrics.Counter
+	rejects map[string]*metrics.Counter // by structured reason
+	plans   map[string]*metrics.Counter // by strategy
 }
 
 type endpointMetrics struct {
@@ -32,6 +43,7 @@ func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
 		endpoints: make(map[string]*endpointMetrics),
 		plans:     make(map[string]*metrics.Counter),
+		tenants:   make(map[string]*tenantMetrics),
 		start:     time.Now(),
 	}
 }
@@ -76,9 +88,76 @@ func (m *serverMetrics) planServed(strategy string) {
 	c.Inc()
 }
 
+// tenant returns the per-tenant accumulator, creating it on first use.
+func (m *serverMetrics) tenant(name string) *tenantMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm, ok := m.tenants[name]
+	if !ok {
+		tm = &tenantMetrics{
+			rejects: make(map[string]*metrics.Counter),
+			plans:   make(map[string]*metrics.Counter),
+		}
+		m.tenants[name] = tm
+	}
+	return tm
+}
+
+// tenantAdmit counts one ledger-debited plan for the tenant.
+func (m *serverMetrics) tenantAdmit(name, strategy string) {
+	tm := m.tenant(name)
+	tm.admits.Inc()
+	tm.mu.Lock()
+	c, ok := tm.plans[strategy]
+	if !ok {
+		c = &metrics.Counter{}
+		tm.plans[strategy] = c
+	}
+	tm.mu.Unlock()
+	c.Inc()
+}
+
+// tenantReject counts one admission rejection with its structured reason.
+func (m *serverMetrics) tenantReject(name, reason string) {
+	tm := m.tenant(name)
+	tm.mu.Lock()
+	c, ok := tm.rejects[reason]
+	if !ok {
+		c = &metrics.Counter{}
+		tm.rejects[reason] = c
+	}
+	tm.mu.Unlock()
+	c.Inc()
+}
+
+// writeTenantLabeled renders one per-tenant counter family whose second
+// label (reason, strategy, ...) keys the map sel selects, snapshotting each
+// tenant's counts under its lock before printing.
+func (m *serverMetrics) writeTenantLabeled(w io.Writer, metric, label string, tenantNames []string, sel func(*tenantMetrics) map[string]*metrics.Counter) {
+	for _, name := range tenantNames {
+		tm := m.tenant(name)
+		tm.mu.Lock()
+		byLabel := sel(tm)
+		keys := make([]string, 0, len(byLabel))
+		for k := range byLabel {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		counts := make(map[string]uint64, len(keys))
+		for _, k := range keys {
+			counts[k] = byLabel[k].Value()
+		}
+		tm.mu.Unlock()
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{tenant=%q,%s=%q} %d\n", metric, name, label, k, counts[k])
+		}
+	}
+}
+
 // writePrometheus renders every metric in the text exposition format. The
-// cache is passed in so its gauges reflect the live shard state.
-func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache) {
+// cache and tenant registry are passed in so their gauges reflect live
+// state (reg may be nil when no tenants are configured).
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tenant.Registry) {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.endpoints))
 	for p := range m.endpoints {
@@ -146,6 +225,38 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache) {
 	fmt.Fprintln(w, "# HELP chronosd_plan_cache_entries Plans currently cached.")
 	fmt.Fprintln(w, "# TYPE chronosd_plan_cache_entries gauge")
 	fmt.Fprintf(w, "chronosd_plan_cache_entries %d\n", cache.len())
+
+	m.mu.Lock()
+	tenantNames := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(tenantNames)
+
+	fmt.Fprintln(w, "# HELP chronosd_tenant_admits_total Ledger-debited plans, by tenant.")
+	fmt.Fprintln(w, "# TYPE chronosd_tenant_admits_total counter")
+	for _, name := range tenantNames {
+		fmt.Fprintf(w, "chronosd_tenant_admits_total{tenant=%q} %d\n",
+			name, m.tenant(name).admits.Value())
+	}
+
+	fmt.Fprintln(w, "# HELP chronosd_tenant_rejects_total Admission rejections, by tenant and reason.")
+	fmt.Fprintln(w, "# TYPE chronosd_tenant_rejects_total counter")
+	m.writeTenantLabeled(w, "chronosd_tenant_rejects_total", "reason", tenantNames,
+		func(tm *tenantMetrics) map[string]*metrics.Counter { return tm.rejects })
+
+	fmt.Fprintln(w, "# HELP chronosd_tenant_plans_total Admitted plans, by tenant and strategy.")
+	fmt.Fprintln(w, "# TYPE chronosd_tenant_plans_total counter")
+	m.writeTenantLabeled(w, "chronosd_tenant_plans_total", "strategy", tenantNames,
+		func(tm *tenantMetrics) map[string]*metrics.Counter { return tm.plans })
+
+	fmt.Fprintln(w, "# HELP chronosd_tenant_budget_remaining Machine-seconds left in each pool.")
+	fmt.Fprintln(w, "# TYPE chronosd_tenant_budget_remaining gauge")
+	for _, p := range reg.Pools() {
+		fmt.Fprintf(w, "chronosd_tenant_budget_remaining{tenant=%q} %g\n",
+			p.Name(), p.Remaining())
+	}
 
 	fmt.Fprintln(w, "# HELP chronosd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE chronosd_uptime_seconds gauge")

@@ -4,18 +4,22 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
+
+	"chronos/internal/tenant"
 )
 
 // Server is one chronosd instance: HTTP handlers over the chronos planning
-// core, a sharded plan cache, a bounded optimization worker pool, and
-// Prometheus-style metrics.
+// core, a sharded plan cache, a bounded optimization worker pool, a
+// hot-swappable tenant registry, and Prometheus-style metrics.
 type Server struct {
 	cfg     Config
 	cache   *planCache
 	pool    *workerPool
 	metrics *serverMetrics
 	mux     *http.ServeMux
+	tenants atomic.Pointer[tenant.Registry]
 }
 
 // New builds a server from cfg (zero fields take defaults).
@@ -27,15 +31,35 @@ func New(cfg Config) *Server {
 		pool:    newWorkerPool(cfg.Workers),
 		metrics: newServerMetrics(),
 	}
+	if cfg.Tenants != nil {
+		s.tenants.Store(cfg.Tenants)
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/plan", "/v1/plan", s.handlePlan)
 	s.route("POST /v1/plan/batch", "/v1/plan/batch", s.handleBatch)
+	s.route("POST /v1/admit", "/v1/admit", s.handleAdmit)
 	s.route("GET /v1/tradeoff", "/v1/tradeoff", s.handleTradeoff)
 	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
 }
+
+// Tenants returns the live tenant registry (nil when none is configured).
+func (s *Server) Tenants() *tenant.Registry { return s.tenants.Load() }
+
+// SetTenants swaps in a new tenant registry — chronosd calls this on SIGHUP
+// after reloading the config file — and flushes the plan cache, so no plan
+// computed under the previous tenant defaults outlives the config change.
+// Carrying live ledger levels across the swap is the caller's choice via
+// tenant.Registry.Rebase.
+func (s *Server) SetTenants(reg *tenant.Registry) {
+	s.tenants.Store(reg)
+	s.FlushCache()
+}
+
+// FlushCache empties the plan cache.
+func (s *Server) FlushCache() { s.cache.flush() }
 
 // route registers pattern with the instrumentation middleware: request body
 // capping, latency measurement, and per-endpoint/status counting under the
