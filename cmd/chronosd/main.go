@@ -15,7 +15,10 @@
 //	POST /v1/plan/batch  shared-budget allocation across a job batch
 //	POST /v1/admit       online admission control against a tenant budget pool
 //	GET  /v1/tradeoff    PoCD/cost frontier for one strategy
-//	POST /v1/simulate    bounded discrete-event what-if run
+//	POST /v1/simulate    bounded discrete-event what-if run (one JSON report)
+//	POST /v1/replay      streaming trace replay: NDJSON per-job events, with
+//	                     optional server-side trace generation and tenant
+//	                     budget debiting
 //	GET  /metrics        Prometheus text metrics
 //	GET  /healthz        liveness probe
 //
@@ -49,6 +52,8 @@ func main() {
 		maxSimJobs    = flag.Int("max-sim-jobs", 500, "jobs accepted per /v1/simulate call")
 		maxSimTasks   = flag.Int("max-sim-tasks", 5000, "tasks per simulated job")
 		maxSimTotal   = flag.Int("max-sim-total-tasks", 50000, "total tasks per /v1/simulate call")
+		maxReplay     = flag.Int("max-replay-jobs", 100000, "jobs per /v1/replay stream")
+		maxActive     = flag.Int("max-active-replays", 4, "concurrently running /v1/replay streams")
 		readTimeout   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		grace         = flag.Duration("shutdown-grace", 10*time.Second, "graceful drain budget on shutdown")
@@ -77,6 +82,8 @@ func main() {
 		MaxSimJobs:       *maxSimJobs,
 		MaxSimTasks:      *maxSimTasks,
 		MaxSimTotalTasks: *maxSimTotal,
+		MaxReplayJobs:    *maxReplay,
+		MaxActiveReplays: *maxActive,
 		ReadTimeout:      *readTimeout,
 		WriteTimeout:     *writeTimeout,
 		ShutdownGrace:    *grace,

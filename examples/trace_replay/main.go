@@ -1,10 +1,12 @@
-// trace_replay: a large-scale, trace-driven comparison.
+// trace_replay: a large-scale, trace-driven comparison over the streaming
+// replay endpoint.
 //
-// This example mirrors the paper's Section VII-B evaluation: generate a
-// Google-trace-like stream of MapReduce jobs (heavy-tailed task counts and
-// per-job Pareto task-time distributions, deadlines at 2x the mean task
-// time) and replay it under every strategy on the simulated datacenter,
-// reporting PoCD, cost, and net utility.
+// This example mirrors the paper's Section VII-B evaluation — a
+// Google-trace-like stream of MapReduce jobs replayed under every strategy —
+// but instead of calling the in-process library it drives a live chronosd:
+// it boots the daemon on a loopback port, asks POST /v1/replay to generate
+// the trace server-side, and consumes the NDJSON event stream (job_planned,
+// job_completed, window_summary, replay_summary) as the simulation runs.
 //
 // Run with:
 //
@@ -12,60 +14,62 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"sort"
 
 	"chronos"
+	"chronos/internal/server"
+)
+
+const (
+	traceJobs    = 150
+	traceHorizon = 2 * 3600
+	traceSeed    = 7
 )
 
 func main() {
-	stream, err := chronos.SyntheticTrace(chronos.TraceConfig{
-		Jobs:           150,
-		HorizonSeconds: 2 * 3600,
-		DeadlineRatio:  2,
-		Seed:           7,
-	})
+	// A live chronosd on a loopback port: the same daemon `cmd/chronosd`
+	// runs in production.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	totalTasks := 0
-	for _, j := range stream {
-		totalTasks += j.Tasks
-	}
-	fmt.Printf("replaying %d jobs (%d tasks) over 2 simulated hours\n\n", len(stream), totalTasks)
+	ctx, stop := context.WithCancel(context.Background())
+	srv := server.New(server.Config{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
 
-	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
-	results := make(map[chronos.Strategy]chronos.Report)
 	order := []chronos.Strategy{
 		chronos.HadoopNS, chronos.HadoopS, chronos.LATE, chronos.Mantri,
 		chronos.Clone, chronos.SpeculativeRestart, chronos.SpeculativeResume,
 	}
+	fmt.Printf("replaying a %d-job generated trace over POST %s/v1/replay\n\n", traceJobs, base)
+
+	results := make(map[chronos.Strategy]*chronos.ReplaySummary)
 	for _, s := range order {
-		rep, err := chronos.Simulate(chronos.SimConfig{
-			Strategy: s,
-			Seed:     7, // common random numbers across strategies
-			Econ:     econ,
-			// Ample capacity, as in the paper's trace-driven simulator:
-			// large jobs (up to 2000 tasks) plus their clones must not
-			// serialize behind each other.
-			Nodes:        2048,
-			SlotsPerNode: 8,
-		}, stream)
+		sum, err := replayOnce(base, s)
 		if err != nil {
 			log.Fatal(err)
 		}
-		results[s] = rep
+		results[s] = sum
 	}
 
-	fmt.Printf("%-22s %-8s %-12s %-10s\n", "strategy", "PoCD", "mean cost", "utility")
+	fmt.Printf("\n%-22s %-8s %-12s %-8s\n", "strategy", "PoCD", "mean cost", "jobs")
 	for _, s := range order {
-		rep := results[s]
-		fmt.Printf("%-22s %-8.3f %-12.1f %-10.3f\n", s, rep.PoCD, rep.MeanCost, rep.Utility)
+		sum := results[s]
+		fmt.Printf("%-22s %-8.3f %-12.1f %-8d\n", s, sum.PoCD, sum.MeanCost, sum.Jobs)
 	}
 
 	// The distribution of optimizer-chosen r for the work-preserving
-	// strategy (the Figure 5 view).
+	// strategy (the Figure 5 view), read off the final stream event.
 	resume := results[chronos.SpeculativeResume]
 	var rs []int
 	for r := range resume.RHistogram {
@@ -76,4 +80,71 @@ func main() {
 	for _, r := range rs {
 		fmt.Printf("  r=%d: %d jobs\n", r, resume.RHistogram[r])
 	}
+
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// replayOnce streams one strategy's replay and returns its final summary.
+// The trace is generated server-side — nothing is uploaded but the config.
+func replayOnce(base string, s chronos.Strategy) (*chronos.ReplaySummary, error) {
+	req := map[string]any{
+		"config": chronos.SimConfig{
+			Strategy: s,
+			Seed:     traceSeed, // common random numbers across strategies
+			Econ:     chronos.Econ{Theta: 1e-4, UnitPrice: 1},
+			// Ample capacity, as in the paper's trace-driven simulator.
+			Nodes:        2048,
+			SlotsPerNode: 8,
+		},
+		"trace": map[string]any{
+			"jobs":           traceJobs,
+			"horizonSeconds": traceHorizon,
+			"deadlineRatio":  2,
+			"seed":           traceSeed,
+		},
+		"windowSeconds": 1800,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/replay", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replay %v: HTTP %s", s, resp.Status)
+	}
+
+	fmt.Printf("%v:\n", s)
+	var summary *chronos.ReplaySummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev chronos.ReplayEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case chronos.EventWindowSummary:
+			w := ev.Window
+			fmt.Printf("  t=%6.0fs  +%3d jobs  %3d/%3d done  running PoCD %.3f\n",
+				w.End, w.Completed, w.Running.Jobs, w.Running.Submitted, w.Running.PoCD)
+		case chronos.EventReplaySummary:
+			summary = ev.Summary
+		case chronos.EventError:
+			return nil, fmt.Errorf("replay %v: %s", s, ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("replay %v: stream ended without a summary", s)
+	}
+	return summary, nil
 }

@@ -173,8 +173,24 @@ type Job struct {
 
 	doneTasks    int
 	doneMapTasks int
+	// liveAttempts counts attempts that are queued or running; the job
+	// settles (accounting final) when it is Done and this reaches zero.
+	liveAttempts int
+	settled      bool
 	strategy     Strategy
 	rt           *Runtime
+}
+
+// Settled reports whether the job's accounting is final: Done with no
+// attempt still queued or running, so MachineTime and Cost cannot change.
+func (j *Job) Settled() bool { return j.settled }
+
+// StrategyName returns the driving strategy's name ("" before Submit).
+func (j *Job) StrategyName() string {
+	if j.strategy == nil {
+		return ""
+	}
+	return j.strategy.Name()
 }
 
 // Deadline returns the absolute deadline instant.

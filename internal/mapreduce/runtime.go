@@ -34,6 +34,11 @@ type Config struct {
 	// ReportInterval > 0. This reproduces the estimation inaccuracy the
 	// paper attributes to limited observation at small tauEst.
 	ReportNoise float64
+	// DiscardJobs, when set, stops the runtime from retaining submitted
+	// jobs in Jobs(): the caller owns each *Job's lifetime. The streaming
+	// replay engine sets this so that memory stays proportional to the
+	// in-flight job count instead of the whole trace.
+	DiscardJobs bool
 }
 
 // Runtime is the application-master-style execution core: it owns jobs,
@@ -49,6 +54,14 @@ type Runtime struct {
 	jobs []*Job
 	// OnJobDone, if set, is invoked when a job's last task completes.
 	OnJobDone func(*Job)
+	// OnJobSettled, if set, is invoked once per job when its accounting
+	// closes: the job is Done and no attempt still holds (or waits for) a
+	// container, so MachineTime and Cost are final. Redundant attempts may
+	// outlive job completion under the paper's accounting (they run until a
+	// strategy kills them or they finish), which is why settlement — not
+	// completion — is the instant a streaming consumer may read the job's
+	// cost and release its state.
+	OnJobSettled func(*Job)
 }
 
 // NewRuntime builds a runtime on the engine and cluster.
@@ -76,7 +89,9 @@ func (rt *Runtime) Submit(spec JobSpec, strat Strategy) (*Job, error) {
 	for i := 0; i < spec.Reduce.NumTasks; i++ {
 		job.Tasks = append(job.Tasks, &Task{Job: job, ID: spec.NumTasks + i, Stage: StageReduce})
 	}
-	rt.jobs = append(rt.jobs, job)
+	if !rt.cfg.DiscardJobs {
+		rt.jobs = append(rt.jobs, job)
+	}
 	ctl := &Controller{rt: rt, job: job}
 	rt.Eng.Schedule(spec.Arrival, func() { strat.Start(ctl) })
 	return job, nil
@@ -101,6 +116,7 @@ func (rt *Runtime) launch(ctl *Controller, t *Task, startFrac float64) *Attempt 
 	}
 	t.nextAttempt++
 	t.Attempts = append(t.Attempts, a)
+	t.Job.liveAttempts++
 
 	rt.Cluster.Request(func(ctr *cluster.Container) {
 		if a.State != AttemptQueued {
@@ -142,6 +158,8 @@ func (rt *Runtime) finishAttempt(ctl *Controller, a *Attempt) {
 	a.State = AttemptFinished
 	a.EndTime = now
 	rt.releaseAndCharge(a)
+	a.Task.Job.liveAttempts--
+	defer rt.maybeSettle(a.Task.Job)
 
 	t := a.Task
 	if t.Done {
@@ -191,16 +209,17 @@ func (rt *Runtime) kill(a *Attempt) bool {
 	case AttemptQueued:
 		a.State = AttemptKilled
 		a.EndTime = rt.Eng.Now()
-		return true
 	case AttemptRunning:
 		a.State = AttemptKilled
 		a.EndTime = rt.Eng.Now()
 		a.finishTimer.Cancel()
 		rt.releaseAndCharge(a)
-		return true
 	default:
 		return false
 	}
+	a.Task.Job.liveAttempts--
+	rt.maybeSettle(a.Task.Job)
+	return true
 }
 
 // attemptLost handles a node failure under a running attempt.
@@ -212,8 +231,22 @@ func (rt *Runtime) attemptLost(ctl *Controller, a *Attempt) {
 	a.EndTime = rt.Eng.Now()
 	a.finishTimer.Cancel()
 	rt.releaseAndCharge(a)
+	a.Task.Job.liveAttempts--
 	if ctl.attemptLost != nil {
 		ctl.attemptLost(a)
+	}
+	rt.maybeSettle(a.Task.Job)
+}
+
+// maybeSettle fires OnJobSettled exactly once, when the job is complete and
+// its last live attempt has released (or abandoned) its container.
+func (rt *Runtime) maybeSettle(job *Job) {
+	if !job.Done || job.liveAttempts > 0 || job.settled {
+		return
+	}
+	job.settled = true
+	if rt.OnJobSettled != nil {
+		rt.OnJobSettled(job)
 	}
 }
 

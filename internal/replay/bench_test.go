@@ -1,0 +1,39 @@
+package replay_test
+
+import (
+	"context"
+	"testing"
+
+	"chronos"
+)
+
+// BenchmarkReplayThroughput measures the streaming core end to end — lazy
+// submission, event emission, per-job settlement — and reports jobs/sec,
+// the capacity number that bounds how far /v1/replay streams can scale on
+// one instance. Runs in the CI bench-smoke job.
+func BenchmarkReplayThroughput(b *testing.B) {
+	const jobs = 200
+	stream := make([]chronos.SimJob, jobs)
+	for i := range stream {
+		stream[i] = chronos.SimJob{
+			Tasks: 8, Deadline: 300, TMin: 10, Beta: 1.5,
+			Arrival: float64(i) * 5,
+		}
+	}
+	cfg := chronos.SimConfig{
+		Strategy: chronos.SpeculativeResume, Seed: 1,
+		Nodes: 64, SlotsPerNode: 8,
+	}
+	obs := chronos.ReplayObserverFunc(func(*chronos.ReplayEvent) error { return nil })
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chronos.Replay(context.Background(), cfg, stream,
+			chronos.ReplayOptions{WindowSeconds: 300, Observer: obs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}

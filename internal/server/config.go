@@ -50,6 +50,18 @@ type Config struct {
 	// MaxTradeoffPoints caps the r range of /v1/tradeoff. Default 256.
 	MaxTradeoffPoints int
 
+	// MaxReplayJobs caps the jobs of one POST /v1/replay stream (uploaded
+	// or generated server-side). The streaming engine's memory tracks
+	// in-flight jobs rather than the trace, so this is deliberately far
+	// above MaxSimJobs; it bounds CPU commitment, not allocation.
+	// Default 100000.
+	MaxReplayJobs int
+	// MaxActiveReplays bounds concurrently running /v1/replay streams;
+	// excess requests get 503 with Retry-After. Replays are long
+	// whole-simulation CPU commitments, so this keeps a burst of them from
+	// starving the planning hot path. Default 4.
+	MaxActiveReplays int
+
 	// Tenants is the initial multi-tenant budget registry. Nil disables
 	// tenant routing: /v1/admit answers 404 and the tenant field on
 	// /v1/plan and /v1/plan/batch is rejected. Swappable at runtime with
@@ -97,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTradeoffPoints <= 0 {
 		c.MaxTradeoffPoints = 256
+	}
+	if c.MaxReplayJobs <= 0 {
+		c.MaxReplayJobs = 100000
+	}
+	if c.MaxActiveReplays <= 0 {
+		c.MaxActiveReplays = 4
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 10 * time.Second

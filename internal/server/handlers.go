@@ -463,8 +463,12 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSimulate serves POST /v1/simulate: a bounded discrete-event what-if
-// run. Size limits keep one request from monopolizing the instance; larger
-// studies belong in the offline CLIs.
+// run, answered as one aggregate report. It runs on the same streaming
+// replay core as POST /v1/replay (fold the events, return the final
+// summary), and honors the request context: a disconnected client cancels
+// the simulation between events instead of leaving it running to
+// completion. Size limits keep one request from monopolizing the instance;
+// larger studies belong on /v1/replay or in the offline CLIs.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if !decode(w, r, &req) {
@@ -483,8 +487,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
-	report, err := chronos.Simulate(req.Config, req.Jobs)
+	report, err := chronos.SimulateContext(r.Context(), req.Config, req.Jobs)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// Client is gone; the status code is a formality.
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -514,7 +522,15 @@ const (
 // validateSimBounds returns a rejection message, or "" when the request is
 // within serving bounds.
 func validateSimBounds(cfg Config, req simulateRequest) string {
-	c := req.Config
+	if msg := validateSimConfigBounds(req.Config); msg != "" {
+		return msg
+	}
+	return validateSimJobs(cfg, req.Jobs, simMaxArrival, cfg.MaxSimTotalTasks)
+}
+
+// validateSimConfigBounds checks the cluster- and model-shaping knobs shared
+// by /v1/simulate and /v1/replay.
+func validateSimConfigBounds(c chronos.SimConfig) string {
 	if c.Nodes < 0 || c.Nodes > simMaxNodes {
 		return fmt.Sprintf("nodes must be in [0, %d]", simMaxNodes)
 	}
@@ -527,8 +543,15 @@ func validateSimBounds(cfg Config, req simulateRequest) string {
 	if c.Failures != nil && c.Failures.MTBF > 0 && c.Failures.MTBF < simMinMTBF {
 		return fmt.Sprintf("failures.mtbf must be >= %d seconds", simMinMTBF)
 	}
+	return ""
+}
+
+// validateSimJobs checks per-job bounds. maxTotalTasks == 0 means no
+// stream-wide task ceiling (the streaming replay path, whose memory is
+// bounded by in-flight jobs rather than trace size).
+func validateSimJobs(cfg Config, jobs []chronos.SimJob, maxArrival float64, maxTotalTasks int) string {
 	total := 0
-	for i, j := range req.Jobs {
+	for i, j := range jobs {
 		if j.Tasks < 1 || j.ReduceTasks < 0 {
 			return fmt.Sprintf("job %d: tasks must be >= 1 and reduceTasks >= 0", i)
 		}
@@ -539,13 +562,13 @@ func validateSimBounds(cfg Config, req simulateRequest) string {
 		if !(j.Deadline > 0) || j.Deadline > simMaxDeadline {
 			return fmt.Sprintf("job %d: deadline must be in (0, %g]", i, float64(simMaxDeadline))
 		}
-		if j.Arrival < 0 || j.Arrival > simMaxArrival {
-			return fmt.Sprintf("job %d: arrival must be in [0, %g]", i, float64(simMaxArrival))
+		if j.Arrival < 0 || j.Arrival > maxArrival {
+			return fmt.Sprintf("job %d: arrival must be in [0, %g]", i, maxArrival)
 		}
 		total += tasks
 	}
-	if total > cfg.MaxSimTotalTasks {
-		return fmt.Sprintf("simulation has %d total tasks, limit %d", total, cfg.MaxSimTotalTasks)
+	if maxTotalTasks > 0 && total > maxTotalTasks {
+		return fmt.Sprintf("simulation has %d total tasks, limit %d", total, maxTotalTasks)
 	}
 	return ""
 }

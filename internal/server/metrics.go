@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chronos/internal/metrics"
@@ -22,7 +23,31 @@ type serverMetrics struct {
 	plans     map[string]*metrics.Counter
 	tenants   map[string]*tenantMetrics
 
+	// Streaming-replay series: lifetime starts, currently-open streams, and
+	// cumulative jobs/events pushed over /v1/replay.
+	replaysStarted metrics.Counter
+	replaysActive  atomic.Int64
+	replayJobs     metrics.Counter
+	replayEvents   metrics.Counter
+
 	start time.Time
+}
+
+// replayStarted marks one /v1/replay stream opening; the returned func
+// closes it. Jobs and events emitted mid-stream are counted via replayEmit.
+func (m *serverMetrics) replayStarted() (done func()) {
+	m.replaysStarted.Inc()
+	m.replaysActive.Add(1)
+	return func() { m.replaysActive.Add(-1) }
+}
+
+// replayEmit counts one streamed event (and, for job completions, one
+// replayed job).
+func (m *serverMetrics) replayEmit(jobCompleted bool) {
+	m.replayEvents.Inc()
+	if jobCompleted {
+		m.replayJobs.Inc()
+	}
 }
 
 // tenantMetrics accumulates one tenant's admission-control counters.
@@ -257,6 +282,19 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 		fmt.Fprintf(w, "chronosd_tenant_budget_remaining{tenant=%q} %g\n",
 			p.Name(), p.Remaining())
 	}
+
+	fmt.Fprintln(w, "# HELP chronosd_replays_total Streaming replays started over /v1/replay.")
+	fmt.Fprintln(w, "# TYPE chronosd_replays_total counter")
+	fmt.Fprintf(w, "chronosd_replays_total %d\n", m.replaysStarted.Value())
+	fmt.Fprintln(w, "# HELP chronosd_replays_active Replay streams currently open.")
+	fmt.Fprintln(w, "# TYPE chronosd_replays_active gauge")
+	fmt.Fprintf(w, "chronosd_replays_active %d\n", m.replaysActive.Load())
+	fmt.Fprintln(w, "# HELP chronosd_replay_jobs_total Jobs replayed to completion over /v1/replay.")
+	fmt.Fprintln(w, "# TYPE chronosd_replay_jobs_total counter")
+	fmt.Fprintf(w, "chronosd_replay_jobs_total %d\n", m.replayJobs.Value())
+	fmt.Fprintln(w, "# HELP chronosd_replay_events_total NDJSON events emitted over /v1/replay.")
+	fmt.Fprintln(w, "# TYPE chronosd_replay_events_total counter")
+	fmt.Fprintf(w, "chronosd_replay_events_total %d\n", m.replayEvents.Value())
 
 	fmt.Fprintln(w, "# HELP chronosd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE chronosd_uptime_seconds gauge")

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"chronos"
+	"chronos/internal/tenant"
+)
+
+// replayRequest asks for a streaming trace replay. The job stream comes from
+// exactly one of Jobs (an uploaded trace), Trace (a server-side synthetic
+// Google-like trace), or Benchmark (a stream of one of the paper's testbed
+// workloads), so long online-setting studies need not upload anything.
+type replayRequest struct {
+	// Config shapes the simulation (strategy, cluster, seed, ...); the same
+	// shape POST /v1/simulate takes.
+	Config chronos.SimConfig `json:"config"`
+	// Jobs is an explicit uploaded trace.
+	Jobs []chronos.SimJob `json:"jobs,omitempty"`
+	// Trace generates a synthetic Google-like stream server-side.
+	Trace *replayTraceSpec `json:"trace,omitempty"`
+	// Benchmark generates a stream of identical jobs from one of the
+	// paper's four testbed workloads.
+	Benchmark *replayBenchSpec `json:"benchmark,omitempty"`
+	// Tenant optionally routes the replay through a budget pool: each
+	// completed job's machine time is debited from the ledger, and the
+	// stream ends with a budget_exhausted event when the pool drains.
+	Tenant string `json:"tenant,omitempty"`
+	// WindowSeconds is the sim-time width of window_summary events; zero
+	// disables them.
+	WindowSeconds float64 `json:"windowSeconds,omitempty"`
+}
+
+// replayTraceSpec mirrors chronos.TraceConfig on the wire.
+type replayTraceSpec struct {
+	Jobs           int     `json:"jobs"`
+	HorizonSeconds float64 `json:"horizonSeconds,omitempty"`
+	DeadlineRatio  float64 `json:"deadlineRatio,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+}
+
+// replayBenchSpec expands one named benchmark into a uniform job stream.
+type replayBenchSpec struct {
+	// Name is one of the paper's workloads (Sort, SecondarySort, TeraSort,
+	// WordCount), case-insensitive.
+	Name string `json:"name"`
+	// Jobs and Tasks size the stream; SpacingSeconds separates arrivals.
+	Jobs           int     `json:"jobs"`
+	Tasks          int     `json:"tasks"`
+	SpacingSeconds float64 `json:"spacingSeconds,omitempty"`
+}
+
+// replayMaxArrival bounds arrivals for /v1/replay. Streaming runs exist for
+// long-horizon studies, so this is far looser than the /v1/simulate cap.
+const replayMaxArrival = 1e8
+
+// replayMinWindow is the smallest accepted windowSeconds (0 still disables
+// windows). Sub-second windows over HTTP are pure event spam and a
+// degenerate width must not be able to grind the boundary arithmetic.
+const replayMinWindow = 1.0
+
+// errReplayBudget aborts a tenant-routed replay whose pool drained; the
+// budget_exhausted event has already been streamed when it is raised.
+var errReplayBudget = errors.New("replay tenant budget exhausted")
+
+// handleReplay serves POST /v1/replay: an NDJSON stream of replay events
+// (job_planned, job_completed, window_summary, replay_summary — see the
+// internal/replay catalog), flushed as they happen. The request context is
+// checked between simulation events, so a disconnected client stops the
+// replay promptly instead of leaving it running to completion.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req replayRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	jobs, msg := s.resolveReplayJobs(req)
+	if msg == "" {
+		msg = validateReplayBounds(s.cfg, req, jobs)
+	}
+	if msg != "" {
+		httpError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	var pool *tenant.Pool
+	if req.Tenant != "" {
+		var ok bool
+		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+			return
+		}
+	}
+
+	// Replays are whole-simulation CPU commitments; bound how many run at
+	// once the same way the worker pool bounds optimizations, instead of
+	// letting a burst of streams starve the cheap planning endpoints.
+	select {
+	case s.replaySem <- struct{}{}:
+		defer func() { <-s.replaySem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			"%d replays already running, limit %d", len(s.replaySem), cap(s.replaySem))
+		return
+	}
+
+	// The response header is written lazily at the first event, so setup
+	// failures (bad distribution parameters, unknown strategy) still get a
+	// clean 400 instead of a broken 200 stream.
+	stream := &ndjsonStream{
+		w:  w,
+		rc: http.NewResponseController(w),
+		m:  s.metrics,
+	}
+	finish := s.metrics.replayStarted()
+	defer finish()
+
+	obs := chronos.ReplayObserverFunc(stream.write)
+	if pool != nil {
+		obs = s.debitingObserver(stream, pool, req.Tenant)
+	}
+	// The replay engine's memory tracks in-flight tasks; cap them with the
+	// same ceiling /v1/simulate puts on a whole run, so a trace whose jobs
+	// all arrive at once cannot materialize wholesale.
+	_, err := chronos.Replay(r.Context(), req.Config, jobs, chronos.ReplayOptions{
+		WindowSeconds: req.WindowSeconds,
+		MaxOpenTasks:  s.cfg.MaxSimTotalTasks,
+		Observer:      obs,
+	})
+	switch {
+	case err == nil || errors.Is(err, errReplayBudget):
+		// Complete stream, or a ledger stop already reported in-band.
+	case !stream.started:
+		// Nothing streamed yet: report as a plain HTTP error.
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case r.Context().Err() != nil:
+		// Client is gone; there is no one left to tell.
+	default:
+		// Mid-stream failure after a 200: report in-band and end.
+		_ = stream.write(&chronos.ReplayEvent{
+			Kind: chronos.EventError, Seq: stream.lastSeq + 1, Error: err.Error(),
+		})
+	}
+}
+
+// resolveReplayJobs materializes the job stream from whichever source the
+// request names. A non-empty message is a 400.
+func (s *Server) resolveReplayJobs(req replayRequest) ([]chronos.SimJob, string) {
+	sources := 0
+	for _, set := range []bool{len(req.Jobs) > 0, req.Trace != nil, req.Benchmark != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "exactly one of jobs, trace, or benchmark must be given"
+	}
+	switch {
+	case req.Trace != nil:
+		t := req.Trace
+		if t.Jobs < 1 || t.Jobs > s.cfg.MaxReplayJobs {
+			return nil, fmt.Sprintf("trace.jobs must be in [1, %d]", s.cfg.MaxReplayJobs)
+		}
+		jobs, err := chronos.SyntheticTrace(chronos.TraceConfig{
+			Jobs:           t.Jobs,
+			HorizonSeconds: t.HorizonSeconds,
+			DeadlineRatio:  t.DeadlineRatio,
+			Seed:           t.Seed,
+		})
+		if err != nil {
+			return nil, err.Error()
+		}
+		return jobs, ""
+	case req.Benchmark != nil:
+		b := req.Benchmark
+		if b.Jobs < 1 || b.Jobs > s.cfg.MaxReplayJobs {
+			return nil, fmt.Sprintf("benchmark.jobs must be in [1, %d]", s.cfg.MaxReplayJobs)
+		}
+		if b.Tasks < 1 {
+			return nil, "benchmark.tasks must be >= 1"
+		}
+		if b.SpacingSeconds < 0 {
+			return nil, "benchmark.spacingSeconds must be >= 0"
+		}
+		for _, bench := range chronos.Benchmarks() {
+			if strings.EqualFold(bench.Name, b.Name) {
+				return bench.Jobs(b.Jobs, b.Tasks, b.SpacingSeconds), ""
+			}
+		}
+		return nil, fmt.Sprintf("unknown benchmark %q", b.Name)
+	default:
+		if len(req.Jobs) > s.cfg.MaxReplayJobs {
+			return nil, fmt.Sprintf("replay has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxReplayJobs)
+		}
+		return req.Jobs, ""
+	}
+}
+
+// validateReplayBounds applies the serving sanity caps to a resolved stream.
+// Unlike /v1/simulate there is no total-task ceiling: the streaming engine's
+// memory is bounded by in-flight jobs, and wall-clock commitment is bounded
+// by disconnect cancellation.
+func validateReplayBounds(cfg Config, req replayRequest, jobs []chronos.SimJob) string {
+	if req.WindowSeconds != 0 && !(req.WindowSeconds >= replayMinWindow) {
+		return fmt.Sprintf("windowSeconds must be 0 (disabled) or >= %g", replayMinWindow)
+	}
+	if msg := validateSimConfigBounds(req.Config); msg != "" {
+		return msg
+	}
+	return validateSimJobs(cfg, jobs, replayMaxArrival, 0)
+}
+
+// --- NDJSON plumbing ------------------------------------------------------
+
+// ndjsonStream writes one JSON event per line, flushing each so consumers
+// see events as they happen. The 200 header goes out with the first event.
+type ndjsonStream struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	m       *serverMetrics
+	started bool
+	lastSeq uint64
+}
+
+func (st *ndjsonStream) write(ev *chronos.ReplayEvent) error {
+	st.lastSeq = ev.Seq
+	if !st.started {
+		st.started = true
+		h := st.w.Header()
+		h.Set("Content-Type", "application/x-ndjson")
+		h.Set("Cache-Control", "no-store")
+		// Replays legitimately outlive the server-wide write timeout;
+		// disconnects are caught via the request context instead.
+		_ = st.rc.SetWriteDeadline(time.Time{})
+		st.w.WriteHeader(http.StatusOK)
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := st.w.Write(line); err != nil {
+		return err
+	}
+	st.m.replayEmit(ev.Kind == chronos.EventJobCompleted)
+	// Flush errors surface on the next Write; ErrNotSupported just means a
+	// buffering middleware will batch the stream.
+	_ = st.rc.Flush()
+	return nil
+}
+
+// debitingObserver wraps the stream with per-job tenant accounting: every
+// settled job's machine time is debited from the pool, and a failed debit
+// emits a budget_exhausted event and stops the replay.
+func (s *Server) debitingObserver(st *ndjsonStream, pool *tenant.Pool, name string) chronos.ReplayObserverFunc {
+	return func(ev *chronos.ReplayEvent) error {
+		if err := st.write(ev); err != nil {
+			return err
+		}
+		if ev.Kind != chronos.EventJobCompleted || ev.Outcome == nil {
+			return nil
+		}
+		ok, rem := pool.TryDebit(ev.Outcome.MachineTime)
+		if ok {
+			return nil
+		}
+		s.metrics.tenantReject(name, ReasonBudgetExhausted)
+		_ = st.write(&chronos.ReplayEvent{
+			Kind:      chronos.EventBudgetExhausted,
+			Seq:       st.lastSeq + 1,
+			Time:      ev.Time,
+			Tenant:    name,
+			Needed:    ev.Outcome.MachineTime,
+			Remaining: &rem,
+		})
+		return errReplayBudget
+	}
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chronos"
+	"chronos/internal/tenant"
+)
+
+// tinyStream builds n cheap one-task jobs arriving steadily.
+func tinyStream(n int) []chronos.SimJob {
+	jobs := make([]chronos.SimJob, n)
+	for i := range jobs {
+		jobs[i] = chronos.SimJob{
+			Tasks: 1, Deadline: 120, TMin: 5, Beta: 1.5,
+			Arrival: float64(i),
+		}
+	}
+	return jobs
+}
+
+func smallSimConfig() chronos.SimConfig {
+	return chronos.SimConfig{
+		Strategy: chronos.SpeculativeResume, Seed: 9,
+		Nodes: 8, SlotsPerNode: 8,
+	}
+}
+
+// readEvents decodes every NDJSON line of the response body.
+func readEvents(t *testing.T, resp *http.Response) []chronos.ReplayEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []chronos.ReplayEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev chronos.ReplayEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestReplayStreamsBeyondSimulateCap replays a stream larger than the
+// /v1/simulate job ceiling and checks the full event protocol.
+func TestReplayStreamsBeyondSimulateCap(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	n := s.cfg.MaxSimJobs + 100 // over the one-shot cap by construction
+
+	resp := postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config":        smallSimConfig(),
+		"jobs":          tinyStream(n),
+		"windowSeconds": 60,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := readEvents(t, resp)
+
+	completed, windows := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case chronos.EventJobCompleted:
+			completed++
+		case chronos.EventWindowSummary:
+			windows++
+		}
+	}
+	if completed != n {
+		t.Fatalf("completed events = %d, want %d", completed, n)
+	}
+	if windows == 0 {
+		t.Fatal("no window summaries streamed")
+	}
+	final := events[len(events)-1]
+	if final.Kind != chronos.EventReplaySummary || final.Summary == nil || final.Summary.Jobs != n {
+		t.Fatalf("bad final event: %+v", final)
+	}
+	if got := s.metrics.replayJobs.Value(); got != uint64(n) {
+		t.Fatalf("replay jobs metric = %d, want %d", got, n)
+	}
+	if s.metrics.replaysActive.Load() != 0 {
+		t.Fatal("active replays gauge not back to zero")
+	}
+}
+
+// TestReplayServerSideGeneration exercises both generation sources.
+func TestReplayServerSideGeneration(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config": smallSimConfig(),
+		"trace":  map[string]any{"jobs": 30, "horizonSeconds": 1200, "deadlineRatio": 2, "seed": 5},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	events := readEvents(t, resp)
+	if final := events[len(events)-1]; final.Kind != chronos.EventReplaySummary || final.Summary.Jobs != 30 {
+		t.Fatalf("trace replay final: %+v", final)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config":    smallSimConfig(),
+		"benchmark": map[string]any{"name": "wordcount", "jobs": 5, "tasks": 8, "spacingSeconds": 200},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("benchmark status = %d", resp.StatusCode)
+	}
+	events = readEvents(t, resp)
+	if final := events[len(events)-1]; final.Kind != chronos.EventReplaySummary || final.Summary.Jobs != 5 {
+		t.Fatalf("benchmark replay final: %+v", final)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxReplayJobs: 50})
+	cases := []map[string]any{
+		{"config": smallSimConfig()}, // no source
+		{"config": smallSimConfig(), "jobs": tinyStream(3),
+			"trace": map[string]any{"jobs": 5}}, // two sources
+		{"config": smallSimConfig(), "trace": map[string]any{"jobs": 51}},                                // over cap
+		{"config": smallSimConfig(), "benchmark": map[string]any{"name": "nope", "jobs": 2, "tasks": 2}}, // unknown benchmark
+		{"config": smallSimConfig(), "jobs": tinyStream(3), "windowSeconds": -1},                         // bad window
+		{"config": smallSimConfig(), "jobs": tinyStream(3), "windowSeconds": 1e-9},                       // degenerate window
+		{"config": chronos.SimConfig{Strategy: chronos.Clone, Nodes: 1 << 20},
+			"jobs": tinyStream(3)}, // cluster bound
+	}
+	for i, body := range cases {
+		resp := postJSON(t, ts.URL+"/v1/replay", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestReplayClientDisconnect cancels the request mid-stream and checks the
+// server abandons the replay promptly instead of running it to completion.
+func TestReplayClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Far more work than the few events the client reads; generated
+	// server-side, so the request body stays tiny.
+	n := 20000
+
+	body, err := json.Marshal(map[string]any{
+		"config":    smallSimConfig(),
+		"benchmark": map[string]any{"name": "WordCount", "jobs": n, "tasks": 4, "spacingSeconds": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/replay", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// Read a handful of events, then vanish.
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 5 && sc.Scan(); i++ {
+	}
+	cancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.replaysActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replay still active 5s after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.metrics.replayJobs.Value(); got >= uint64(n) {
+		t.Fatalf("replay ran to completion (%d jobs) despite disconnect", got)
+	}
+}
+
+// TestReplayConcurrencyCap holds one stream open and checks the next is
+// turned away with 503 instead of stacking unbounded CPU commitments.
+func TestReplayConcurrencyCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxActiveReplays: 1})
+	body, err := json.Marshal(map[string]any{
+		"config":    smallSimConfig(),
+		"benchmark": map[string]any{"name": "WordCount", "jobs": 20000, "tasks": 4, "spacingSeconds": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/replay", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() { // the stream is live and holding the only slot
+		t.Fatal("first replay produced no events")
+	}
+
+	second := postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config": smallSimConfig(), "jobs": tinyStream(3),
+	})
+	second.Body.Close()
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second replay status = %d, want 503", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+}
+
+// TestReplayTenantExhaustion drains a small pool mid-replay and expects a
+// budget_exhausted event to end the stream.
+func TestReplayTenantExhaustion(t *testing.T) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"etl": {Budget: 2000}, // a few tiny jobs' worth of machine time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Tenants: reg})
+
+	resp := postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config": smallSimConfig(),
+		"jobs":   tinyStream(300),
+		"tenant": "etl",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	events := readEvents(t, resp)
+	final := events[len(events)-1]
+	if final.Kind != chronos.EventBudgetExhausted {
+		t.Fatalf("final event %q, want budget_exhausted", final.Kind)
+	}
+	if final.Tenant != "etl" || final.Remaining == nil || final.Needed <= *final.Remaining {
+		t.Fatalf("bad budget_exhausted payload: %+v", final)
+	}
+	completed := 0
+	for _, ev := range events {
+		if ev.Kind == chronos.EventJobCompleted {
+			completed++
+		}
+	}
+	if completed == 0 || completed >= 300 {
+		t.Fatalf("completed %d jobs before exhaustion, want some but not all", completed)
+	}
+	if rem := reg.Get("etl").Remaining(); rem >= 2000 {
+		t.Fatalf("pool was never debited: %g remaining", rem)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/replay", map[string]any{
+		"config": smallSimConfig(), "jobs": tinyStream(3), "tenant": "ghost",
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSimulateHonorsContext pins the satellite bugfix: /v1/simulate no
+// longer runs to completion for a client that is already gone.
+func TestSimulateHonorsContext(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, err := json.Marshal(simulateRequest{Config: smallSimConfig(), Jobs: tinyStream(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("cancelled simulate wrote a body: %q", rec.Body.String())
+	}
+}

@@ -20,16 +20,20 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	tenants atomic.Pointer[tenant.Registry]
+	// replaySem bounds concurrently running /v1/replay streams; each
+	// running replay holds one slot.
+	replaySem chan struct{}
 }
 
 // New builds a server from cfg (zero fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newPlanCache(cfg.CacheShards, cfg.CacheCapacity),
-		pool:    newWorkerPool(cfg.Workers),
-		metrics: newServerMetrics(),
+		cfg:       cfg,
+		cache:     newPlanCache(cfg.CacheShards, cfg.CacheCapacity),
+		pool:      newWorkerPool(cfg.Workers),
+		metrics:   newServerMetrics(),
+		replaySem: make(chan struct{}, cfg.MaxActiveReplays),
 	}
 	if cfg.Tenants != nil {
 		s.tenants.Store(cfg.Tenants)
@@ -40,6 +44,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/admit", "/v1/admit", s.handleAdmit)
 	s.route("GET /v1/tradeoff", "/v1/tradeoff", s.handleTradeoff)
 	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
+	s.route("POST /v1/replay", "/v1/replay", s.handleReplay)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
@@ -87,6 +92,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// and SetWriteDeadline, which the /v1/replay NDJSON stream depends on.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // Handler returns the routed handler (also used by tests and embedders).
 func (s *Server) Handler() http.Handler { return s.mux }

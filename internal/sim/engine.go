@@ -74,21 +74,47 @@ func (e *Engine) After(delay float64, fn func()) *Timer {
 	return e.Schedule(e.now+delay, fn)
 }
 
+// peek returns the next live event without executing it, discarding
+// cancelled entries from the head of the queue as a side effect. Returns nil
+// when no live event remains.
+func (e *Engine) peek() *eventItem {
+	for e.queue.Len() > 0 {
+		if item := e.queue.items[0]; !item.cancelled {
+			return item
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextAt reports the timestamp of the next live event, or ok == false when
+// the queue holds none. It does not advance the clock. Stream consumers (the
+// replay engine) use it to emit window boundaries that fall inside the gap
+// before the next event.
+func (e *Engine) NextAt() (at float64, ok bool) {
+	item := e.peek()
+	if item == nil {
+		return 0, false
+	}
+	return item.at, true
+}
+
 // Step executes the next pending event and returns true, or returns false if
 // the queue is empty or the engine is stopped.
 func (e *Engine) Step() bool {
-	for !e.stopped && e.queue.Len() > 0 {
-		item := heap.Pop(&e.queue).(*eventItem)
-		if item.cancelled {
-			continue
-		}
-		e.now = item.at
-		item.fired = true
-		e.processed++
-		item.fn()
-		return true
+	if e.stopped {
+		return false
 	}
-	return false
+	item := e.peek()
+	if item == nil {
+		return false
+	}
+	heap.Pop(&e.queue)
+	e.now = item.at
+	item.fired = true
+	e.processed++
+	item.fn()
+	return true
 }
 
 // Run drains the event queue (or stops early if Stop is called from a
@@ -101,8 +127,9 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t and then advances the clock
 // to exactly t (even if no event lands there).
 func (e *Engine) RunUntil(t float64) {
-	for !e.stopped && e.queue.Len() > 0 {
-		if next := e.queue.items[0]; next.at > t {
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.at > t {
 			break
 		}
 		e.Step()

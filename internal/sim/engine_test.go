@@ -224,3 +224,28 @@ func TestHeapStress(t *testing.T) {
 		t.Error("stress run fired events out of order")
 	}
 }
+
+// TestNextAt covers the peek API the streaming replay loop drives windows
+// with: it must see through cancelled heads and never advance the clock.
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt on empty queue reported an event")
+	}
+	first := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if at, ok := e.NextAt(); !ok || at != 10 {
+		t.Errorf("NextAt = %v, %v, want 10, true", at, ok)
+	}
+	if e.Now() != 0 {
+		t.Errorf("NextAt advanced the clock to %v", e.Now())
+	}
+	first.Cancel()
+	if at, ok := e.NextAt(); !ok || at != 20 {
+		t.Errorf("NextAt after cancelling head = %v, %v, want 20, true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt after drain reported an event")
+	}
+}

@@ -1,16 +1,14 @@
 package chronos
 
 import (
+	"context"
 	"math"
 
 	"fmt"
 
-	"chronos/internal/cluster"
 	"chronos/internal/mapreduce"
-	"chronos/internal/metrics"
 	"chronos/internal/optimize"
 	"chronos/internal/pareto"
-	"chronos/internal/sim"
 	"chronos/internal/speculate"
 	"chronos/internal/trace"
 	"chronos/internal/workload"
@@ -141,93 +139,20 @@ type Report struct {
 }
 
 // Simulate executes the job stream under the configured strategy on the
-// discrete-event cluster and reports PoCD, cost, and utility.
+// discrete-event cluster and reports PoCD, cost, and utility. It is a
+// one-shot fold over the streaming replay core (see Replay): every event is
+// aggregated and only the final report returned.
 func Simulate(cfg SimConfig, jobs []SimJob) (Report, error) {
+	return SimulateContext(context.Background(), cfg, jobs)
+}
+
+// SimulateContext is Simulate with cancellation: the run stops between
+// simulation events when ctx is cancelled and returns ctx's error.
+func SimulateContext(ctx context.Context, cfg SimConfig, jobs []SimJob) (Report, error) {
 	if len(jobs) == 0 {
 		return Report{}, fmt.Errorf("chronos: no jobs to simulate")
 	}
-	cfg = cfg.withDefaults()
-
-	eng := sim.NewEngine()
-	var contention cluster.ContentionModel
-	if cfg.ContentionP > 0 && cfg.ContentionMean > 1 {
-		contention = cluster.HotspotContention{P: cfg.ContentionP, Mean: cfg.ContentionMean}
-	}
-	cl, err := cluster.New(eng, cluster.Config{
-		Nodes:        cfg.Nodes,
-		SlotsPerNode: cfg.SlotsPerNode,
-		Contention:   contention,
-		Seed:         cfg.Seed ^ 0xBEEF,
-	})
-	if err != nil {
-		return Report{}, err
-	}
-	rtCfg := mapreduce.Config{
-		Seed:           cfg.Seed,
-		ReportInterval: cfg.ReportInterval,
-		ReportNoise:    cfg.ReportNoise,
-	}
-	if cfg.Spot != nil {
-		series, err := cfg.spotSeries(jobs)
-		if err != nil {
-			return Report{}, err
-		}
-		rtCfg.SpotIntegral = series.Integral
-	}
-	rt := mapreduce.NewRuntime(eng, cl, rtCfg)
-
-	if cfg.Failures != nil && cfg.Failures.MTBF > 0 {
-		horizon := 0.0
-		for _, j := range jobs {
-			if end := j.Arrival + 20*j.Deadline; end > horizon {
-				horizon = end
-			}
-		}
-		cluster.FailureInjector{
-			MTBF:    cfg.Failures.MTBF,
-			MTTR:    cfg.Failures.MTTR,
-			Horizon: horizon,
-			Seed:    cfg.Seed ^ 0xFA11,
-		}.Install(eng, cl)
-	}
-
-	simulated := make([]*mapreduce.Job, 0, len(jobs))
-	for i, j := range jobs {
-		spec, err := j.spec(i, cfg)
-		if err != nil {
-			return Report{}, err
-		}
-		strat, err := cfg.strategyFor(j)
-		if err != nil {
-			return Report{}, err
-		}
-		job, err := rt.Submit(spec, strat)
-		if err != nil {
-			return Report{}, err
-		}
-		simulated = append(simulated, job)
-	}
-	eng.Run()
-
-	stats := metrics.NewStrategyStats(cfg.Strategy.String())
-	for _, job := range simulated {
-		if !job.Done {
-			return Report{}, fmt.Errorf("chronos: job %d did not complete", job.Spec.ID)
-		}
-		stats.Observe(job)
-	}
-	hist := make(map[int]int)
-	for _, k := range stats.RHistogram().Keys() {
-		hist[k] = stats.RHistogram().Count(k)
-	}
-	return Report{
-		Jobs:            stats.Jobs(),
-		PoCD:            stats.PoCD(),
-		MeanMachineTime: stats.MeanMachineTime(),
-		MeanCost:        stats.MeanCost(),
-		Utility:         stats.Utility(optimize.Config(cfg.Econ)),
-		RHistogram:      hist,
-	}, nil
+	return Replay(ctx, cfg, jobs, ReplayOptions{})
 }
 
 // spotSeries generates the market covering the whole job stream.
