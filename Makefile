@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test bench cover ci
+.PHONY: all fmt vet build test bench cover ring-demo ci
 
 all: build
 
@@ -27,6 +27,9 @@ bench: ## one-iteration benchmark smoke run (the CI bench-smoke job)
 cover: ## -race suite + per-package coverage + the server+tenant gate
 	./scripts/coverage.sh
 
+ring-demo: ## 3-replica consistent-hash ring smoke: plan via A, cache hit via B
+	./scripts/ring-demo.sh
+
 # cover subsumes test (its single -race run is both gates), so ci does not
 # execute the suite twice.
-ci: fmt vet build cover bench
+ci: fmt vet build cover bench ring-demo

@@ -8,6 +8,7 @@
 //	chronosd [-addr :8080] [-cache-capacity 4096] [-cache-shards 16]
 //	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
 //	         [-tenants tenants.json]
+//	         [-self http://host:port -peers url1,url2,... | -ring ring.json]
 //
 // Endpoints:
 //
@@ -22,9 +23,17 @@
 //	GET  /metrics        Prometheus text metrics
 //	GET  /healthz        liveness probe
 //
-// With -tenants, SIGHUP re-reads the config file, carries live ledger
-// levels over for pools whose budget shape is unchanged, and flushes the
-// plan cache. A failed reload keeps the previous configuration.
+// With -self/-peers (or a -ring membership file), the replica joins a
+// consistent-hash ring over the fleet: /v1/plan and /v1/admit requests whose
+// plan key another replica owns are proxied there, so the fleet's LRU caches
+// partition the keyspace instead of overlapping. An unreachable owner
+// degrades to local computation (per-peer circuit breaking), never to a
+// failed request.
+//
+// SIGHUP re-reads the -tenants and -ring config files: tenant reloads carry
+// live ledger levels over for pools whose budget shape is unchanged and
+// flush the plan cache; ring reloads swap the membership atomically. A
+// failed reload keeps the previous configuration.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"chronos/internal/ring"
 	"chronos/internal/server"
 	"chronos/internal/tenant"
 )
@@ -58,6 +68,10 @@ func main() {
 		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		grace         = flag.Duration("shutdown-grace", 10*time.Second, "graceful drain budget on shutdown")
 		tenantsPath   = flag.String("tenants", "", "tenant budget-pool config file (JSON); SIGHUP reloads it")
+		self          = flag.String("self", "", "this replica's base URL in the consistent-hash ring")
+		peers         = flag.String("peers", "", "comma-separated fleet base URLs (ring membership)")
+		ringPath      = flag.String("ring", "", "ring membership file (JSON {self, peers}); SIGHUP reloads it")
+		forwardTO     = flag.Duration("forward-timeout", 2*time.Second, "cross-replica forward timeout before local fallback")
 	)
 	flag.Parse()
 
@@ -70,6 +84,28 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("chronosd loaded %d tenant pool(s) from %s", tenants.Len(), *tenantsPath)
+	}
+
+	membership := ring.Membership{Self: *self, Peers: ring.ParsePeers(*peers)}
+	if *ringPath != "" {
+		if membership.Enabled() {
+			fmt.Fprintln(os.Stderr, "chronosd: -ring is mutually exclusive with -self/-peers")
+			os.Exit(1)
+		}
+		var err error
+		membership, err = ring.LoadFile(*ringPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chronosd:", err)
+			os.Exit(1)
+		}
+	}
+	if err := membership.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "chronosd:", err)
+		os.Exit(1)
+	}
+	if membership.Enabled() {
+		log.Printf("chronosd joining ring as %s with %d member(s)",
+			ring.NormalizeURL(membership.Self), len(membership.Members()))
 	}
 
 	srv := server.New(server.Config{
@@ -88,13 +124,19 @@ func main() {
 		WriteTimeout:     *writeTimeout,
 		ShutdownGrace:    *grace,
 		Tenants:          tenants,
+		Self:             membership.Self,
+		Peers:            membership.Peers,
+		ForwardTimeout:   *forwardTO,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *tenantsPath != "" {
+	// One SIGHUP reloads every file-backed config: tenant budgets and ring
+	// membership share the reload path, so fleet-wide rollouts need one
+	// signal per replica, not one per subsystem.
+	if *tenantsPath != "" || *ringPath != "" {
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
@@ -103,15 +145,28 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-hup:
-					reloaded, err := tenant.LoadFile(*tenantsPath)
-					if err != nil {
-						log.Printf("chronosd: SIGHUP reload failed, keeping previous tenants: %v", err)
-						continue
+					if *tenantsPath != "" {
+						reloaded, err := tenant.LoadFile(*tenantsPath)
+						if err != nil {
+							log.Printf("chronosd: SIGHUP reload failed, keeping previous tenants: %v", err)
+						} else {
+							reloaded.Rebase(srv.Tenants())
+							srv.SetTenants(reloaded)
+							log.Printf("chronosd reloaded %d tenant pool(s) from %s (plan cache flushed)",
+								reloaded.Len(), *tenantsPath)
+						}
 					}
-					reloaded.Rebase(srv.Tenants())
-					srv.SetTenants(reloaded)
-					log.Printf("chronosd reloaded %d tenant pool(s) from %s (plan cache flushed)",
-						reloaded.Len(), *tenantsPath)
+					if *ringPath != "" {
+						m, err := ring.LoadFile(*ringPath)
+						if err != nil {
+							log.Printf("chronosd: SIGHUP reload failed, keeping previous ring: %v", err)
+						} else if err := srv.SetRing(m); err != nil {
+							log.Printf("chronosd: SIGHUP ring swap failed, keeping previous ring: %v", err)
+						} else {
+							log.Printf("chronosd reloaded ring membership from %s (%d member(s))",
+								*ringPath, len(m.Members()))
+						}
+					}
 				}
 			}
 		}()

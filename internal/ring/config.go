@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Membership names this replica and its fleet. It is the unit of ring
+// reconfiguration: chronosd builds it from the -self/-peers flags or loads
+// it from the -ring JSON file, and SIGHUP swaps a freshly loaded Membership
+// into the serving layer.
+type Membership struct {
+	// Self is this replica's own base URL as the fleet addresses it
+	// (scheme://host:port, no trailing slash).
+	Self string `json:"self"`
+	// Peers are the fleet members' base URLs. Self may be included or not;
+	// Members always adds it.
+	Peers []string `json:"peers"`
+}
+
+// Enabled reports whether the membership describes a ring at all. A zero
+// Membership disables sharding.
+func (m Membership) Enabled() bool {
+	return m.Self != "" || len(m.Peers) > 0
+}
+
+// Validate checks the invariants the serving layer depends on: a ring with
+// peers must know its own identity, and every member must be a non-empty
+// base URL.
+func (m Membership) Validate() error {
+	if !m.Enabled() {
+		return nil
+	}
+	if m.Self == "" {
+		return fmt.Errorf("ring: peers configured but self is empty")
+	}
+	for _, p := range m.Peers {
+		if strings.TrimSpace(p) == "" {
+			return fmt.Errorf("ring: empty peer URL in membership")
+		}
+	}
+	return nil
+}
+
+// Members returns the full deduplicated member set — peers plus self, each
+// normalized with NormalizeURL — sorted for determinism.
+func (m Membership) Members() []string {
+	seen := make(map[string]bool, len(m.Peers)+1)
+	out := make([]string, 0, len(m.Peers)+1)
+	add := func(u string) {
+		u = NormalizeURL(u)
+		if u == "" || seen[u] {
+			return
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	add(m.Self)
+	for _, p := range m.Peers {
+		add(p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NormalizeURL canonicalizes a member URL so that textual variants of the
+// same address ("http://a:1/" vs "http://a:1") hash to the same ring
+// placement on every replica.
+func NormalizeURL(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// ParsePeers splits a comma-separated -peers flag value, dropping empty
+// elements.
+func ParsePeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LoadFile reads a Membership from a JSON file of the form
+// {"self": "http://...", "peers": ["http://...", ...]} and validates it.
+func LoadFile(path string) (Membership, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Membership{}, fmt.Errorf("ring: %w", err)
+	}
+	var m Membership
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Membership{}, fmt.Errorf("ring: parse %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Membership{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}

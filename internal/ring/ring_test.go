@@ -1,0 +1,317 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleKeys returns a deterministic 10k-key sample shaped like real plan
+// keys (strategy|tasks|floats), so the distribution properties are measured
+// on the key population the ring actually shards.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("|%d|%.6g|%.6g|40|1.6|300|600|0|0.0001|1|0",
+			100+i%400, 1800.0+float64(i), 30.0+float64(i%97))
+	}
+	return keys
+}
+
+func fleet(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return nodes
+}
+
+func TestNewDedupesAndSorts(t *testing.T) {
+	r := New([]string{"b", "", "a", "b", "a"}, 8)
+	got := r.Nodes()
+	want := []string{"a", "b"}
+	if len(got) != len(want) || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+}
+
+func TestEmptyRingHasNoOwner(t *testing.T) {
+	r := New(nil, 0)
+	if owner, ok := r.Owner("key"); ok {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+	if f := r.OwnedFraction("anyone"); f != 0 {
+		t.Fatalf("empty ring OwnedFraction = %g, want 0", f)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := New([]string{"solo"}, 0)
+	for _, key := range sampleKeys(100) {
+		owner, ok := r.Owner(key)
+		if !ok || owner != "solo" {
+			t.Fatalf("Owner(%q) = %q, %v; want solo, true", key, owner, ok)
+		}
+	}
+	if f := r.OwnedFraction("solo"); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("OwnedFraction(solo) = %g, want 1", f)
+	}
+	if f := r.OwnedFraction("other"); f != 0 {
+		t.Fatalf("OwnedFraction(other) = %g, want 0", f)
+	}
+}
+
+func TestOwnerIsDeterministicAcrossConstructions(t *testing.T) {
+	nodes := fleet(5)
+	a, b := New(nodes, 0), New(nodes, 0)
+	for _, key := range sampleKeys(1000) {
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs between identical rings: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestOwnerIgnoresMemberOrder(t *testing.T) {
+	nodes := fleet(6)
+	shuffled := []string{nodes[3], nodes[0], nodes[5], nodes[1], nodes[4], nodes[2]}
+	a, b := New(nodes, 0), New(shuffled, 0)
+	for _, key := range sampleKeys(1000) {
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("Owner(%q) depends on construction order: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+// TestKeyDistributionNearUniform is the load-balance property the serving
+// layer depends on: across fleet sizes 3–16, every replica's share of a
+// 10k-key sample stays within ±15% of uniform.
+func TestKeyDistributionNearUniform(t *testing.T) {
+	keys := sampleKeys(10000)
+	for n := 3; n <= 16; n++ {
+		nodes := fleet(n)
+		r := New(nodes, 0)
+		counts := make(map[string]int, n)
+		for _, key := range keys {
+			owner, ok := r.Owner(key)
+			if !ok {
+				t.Fatalf("n=%d: no owner for %q", n, key)
+			}
+			counts[owner]++
+		}
+		uniform := float64(len(keys)) / float64(n)
+		for _, node := range nodes {
+			dev := (float64(counts[node]) - uniform) / uniform
+			if math.Abs(dev) > 0.15 {
+				t.Errorf("n=%d: %s owns %d keys, %.1f%% from uniform %g (limit ±15%%)",
+					n, node, counts[node], 100*dev, uniform)
+			}
+		}
+	}
+}
+
+// TestOwnedFractionMatchesSampledShare cross-checks the analytic arc-width
+// gauge against the empirical key distribution and confirms the fractions
+// partition the keyspace (sum to 1).
+func TestOwnedFractionMatchesSampledShare(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, n := range []int{3, 8, 16} {
+		nodes := fleet(n)
+		r := New(nodes, 0)
+		counts := make(map[string]int, n)
+		for _, key := range keys {
+			owner, _ := r.Owner(key)
+			counts[owner]++
+		}
+		var sum float64
+		for _, node := range nodes {
+			f := r.OwnedFraction(node)
+			sum += f
+			sampled := float64(counts[node]) / float64(len(keys))
+			if math.Abs(f-sampled) > 0.03 {
+				t.Errorf("n=%d: %s OwnedFraction %.4f vs sampled share %.4f", n, node, f, sampled)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: fractions sum to %.12f, want 1", n, sum)
+		}
+	}
+}
+
+// TestMembershipChangeRemapsFewKeys is the consistency property: growing or
+// shrinking the fleet by one replica remaps fewer than 2/N of the keys — no
+// full reshuffle, so a rolling resize keeps most of the fleet cache warm.
+func TestMembershipChangeRemapsFewKeys(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, n := range []int{3, 4, 8, 15} {
+		grown := fleet(n + 1)
+		base := grown[:n]
+		before := New(base, 0)
+		after := New(grown, 0)
+
+		moved := 0
+		for _, key := range keys {
+			ob, _ := before.Owner(key)
+			oa, _ := after.Owner(key)
+			if ob != oa {
+				moved++
+			}
+		}
+		limit := 2 * len(keys) / (n + 1)
+		if moved >= limit {
+			t.Errorf("adding 1 node to %d remapped %d/%d keys, limit %d",
+				n, moved, len(keys), limit)
+		}
+
+		// Removal is the inverse comparison: everything the departed node
+		// owned must move, and (almost) nothing else.
+		moved = 0
+		for _, key := range keys {
+			ob, _ := after.Owner(key)
+			oa, _ := before.Owner(key)
+			if ob != oa {
+				moved++
+			}
+		}
+		limit = 2 * len(keys) / (n + 1)
+		if moved >= limit {
+			t.Errorf("removing 1 node from %d remapped %d/%d keys, limit %d",
+				n+1, moved, len(keys), limit)
+		}
+	}
+}
+
+// TestRendezvousTieBreak drives the collision path directly: two members'
+// virtual points on the same circle position must split the contested arc
+// deterministically by rendezvous score, not hand it all to the
+// lexicographically first member.
+func TestRendezvousTieBreak(t *testing.T) {
+	r := &Ring{
+		nodes: []string{"a", "b"},
+		points: []point{
+			{hash: 1 << 32, node: "a"},
+			{hash: 1 << 32, node: "b"},
+		},
+	}
+	counts := map[string]int{}
+	for _, key := range sampleKeys(2000) {
+		owner, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("tied ring returned no owner")
+		}
+		want := "a"
+		if sb := rendezvousScore(key, "b"); sb > rendezvousScore(key, "a") {
+			want = "b"
+		}
+		if owner != want {
+			t.Fatalf("Owner(%q) = %q, rendezvous says %q", key, owner, want)
+		}
+		counts[owner]++
+	}
+	if counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("tie-break never chose one side: %v", counts)
+	}
+}
+
+// --- membership config ----------------------------------------------------
+
+func TestMembershipMembers(t *testing.T) {
+	m := Membership{
+		Self:  "http://a:1/",
+		Peers: []string{"http://b:2", "http://a:1", " http://c:3/ ", ""},
+	}
+	got := m.Members()
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMembershipValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Membership
+		wantErr bool
+	}{
+		{"zero is valid (sharding off)", Membership{}, false},
+		{"self only", Membership{Self: "http://a:1"}, false},
+		{"self with peers", Membership{Self: "http://a:1", Peers: []string{"http://b:2"}}, false},
+		{"peers without self", Membership{Peers: []string{"http://b:2"}}, true},
+		{"blank peer", Membership{Self: "http://a:1", Peers: []string{"  "}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := ParsePeers(" http://a:1 ,,http://b:2, ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("ParsePeers = %v", got)
+	}
+	if got := ParsePeers(""); got != nil {
+		t.Fatalf("ParsePeers(\"\") = %v, want nil", got)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "ring.json")
+	if err := os.WriteFile(good, []byte(`{"self":"http://a:1","peers":["http://b:2"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFile(good)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if m.Self != "http://a:1" || len(m.Peers) != 1 {
+		t.Fatalf("LoadFile = %+v", m)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"self":"","peers":["http://b:2"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("LoadFile accepted peers without self")
+	}
+
+	unknown := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"self":"http://a:1","nodes":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(unknown); err == nil {
+		t.Fatal("LoadFile accepted unknown fields")
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadFile accepted a missing file")
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(fleet(8), 0)
+	keys := sampleKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = r.Owner(keys[i&1023])
+	}
+}

@@ -75,6 +75,17 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	econ := tenantEcon(req.Econ, pool)
+	// Sharded serving: admission decisions for a non-owned plan key run on
+	// the owning replica (its cache holds the unconstrained optimum and its
+	// ledger takes the debit — replicas run identical tenant configs, so
+	// each holds one shard of a tenant's fleet-wide budget). The forwarded
+	// request carries the filled econ so the owner keys its cache
+	// identically.
+	req.Econ = econ
+	key := planKey(cacheStrategyName(strat, best), req.Job, econ)
+	if s.forwardToOwner(w, r, "/v1/admit", key, req) {
+		return
+	}
 
 	reject := func(reason string, remaining float64) {
 		s.metrics.tenantReject(req.Tenant, reason)
@@ -85,7 +96,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 	for attempt := 0; attempt < admitDebitRetries; attempt++ {
 		remaining := pool.Remaining()
-		plan, err := s.planWithinBudget(strat, best, req.Job, econ, remaining)
+		plan, err := s.planWithinBudget(key, strat, best, req.Job, econ, remaining)
 		if err != nil {
 			if reason := rejectReason(err); reason != "" {
 				reject(reason, remaining)
@@ -113,7 +124,15 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 // /v1/plan, the batch strategy fan-out, and admission control — goes
 // through here, so cache policy lives in one place.
 func (s *Server) cachedPlan(strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
-	key := planKey(cacheStrategyName(strat, best), job, econ)
+	return s.cachedPlanKeyed(planKey(cacheStrategyName(strat, best), job, econ),
+		strat, best, job, econ)
+}
+
+// cachedPlanKeyed is cachedPlan for callers that already computed the plan
+// key — the sharded handlers, which need it for the ownership lookup before
+// the cache is consulted — so the ~10-float fmt of planKey runs once per
+// request, not twice.
+func (s *Server) cachedPlanKeyed(key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
 	if plan, hit := s.cache.get(key); hit {
 		return plan, true, nil
 	}
@@ -131,10 +150,10 @@ func (s *Server) cachedPlan(strat chronos.Strategy, best bool, job chronos.JobPa
 
 // planWithinBudget returns the best plan whose expected machine time fits
 // budget. The unconstrained optimum is looked up in (and populates) the
-// plan cache — squeezed plans depend on the transient ledger level and are
-// never cached.
-func (s *Server) planWithinBudget(strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
-	plan, _, err := s.cachedPlan(strat, best, job, econ)
+// plan cache under the caller's precomputed key — squeezed plans depend on
+// the transient ledger level and are never cached.
+func (s *Server) planWithinBudget(key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
+	plan, _, err := s.cachedPlanKeyed(key, strat, best, job, econ)
 	if err != nil {
 		return chronos.Plan{}, err
 	}

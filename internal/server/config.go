@@ -62,6 +62,25 @@ type Config struct {
 	// starving the planning hot path. Default 4.
 	MaxActiveReplays int
 
+	// Self and Peers are the initial consistent-hash ring membership: Self
+	// is this replica's advertised base URL, Peers the fleet's base URLs
+	// (Self may be included or not). Both empty disables sharding; Peers
+	// without Self is a startup error. Swappable at runtime with
+	// Server.SetRing.
+	Self  string
+	Peers []string
+	// RingVirtualNodes is the per-member virtual-node count of the ring.
+	// Zero means ring.DefaultVirtualNodes.
+	RingVirtualNodes int
+	// ForwardTimeout bounds one cross-replica forward before local
+	// fallback. Default 2 s.
+	ForwardTimeout time.Duration
+	// BreakerThreshold is the consecutive forward failures that open a
+	// peer's circuit; BreakerCooldown is how long an open circuit skips the
+	// peer. Defaults 3 and 5 s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
 	// Tenants is the initial multi-tenant budget registry. Nil disables
 	// tenant routing: /v1/admit answers 404 and the tenant field on
 	// /v1/plan and /v1/plan/batch is rejected. Swappable at runtime with
@@ -115,6 +134,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxActiveReplays <= 0 {
 		c.MaxActiveReplays = 4
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 10 * time.Second

@@ -202,7 +202,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Econ = tenantEcon(req.Econ, pool)
 	}
-	plan, cached, err := s.cachedPlan(strat, best, req.Job, req.Econ)
+	// Sharded serving: when another replica owns this plan key, proxy the
+	// request there so the fleet's caches partition the keyspace instead of
+	// overlapping. The forwarded request carries the tenant-filled econ, so
+	// the owner's cache key matches this routing decision.
+	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+	if s.forwardToOwner(w, r, "/v1/plan", key, req) {
+		return
+	}
+	plan, cached, err := s.cachedPlanKeyed(key, strat, best, req.Job, req.Econ)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
 		return
@@ -581,5 +589,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.cache, s.tenants.Load())
+	s.metrics.writePrometheus(w, s.cache, s.tenants.Load(), s.ringSt.Load())
 }

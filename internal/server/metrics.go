@@ -30,7 +30,41 @@ type serverMetrics struct {
 	replayJobs     metrics.Counter
 	replayEvents   metrics.Counter
 
+	// Ring series: per-peer forwards and forward failures, plus the
+	// aggregate fallback/guard counters of the sharded serving path.
+	ringForwards map[string]*metrics.Counter // by peer URL
+	ringErrors   map[string]*metrics.Counter // by peer URL
+	// ringLocalFallbacks counts requests computed locally although another
+	// replica owned the key (circuit open, forward failed, or owner 5xx).
+	ringLocalFallbacks metrics.Counter
+	// ringReceivedForwards counts requests that arrived with the single-hop
+	// guard header and were therefore computed locally.
+	ringReceivedForwards metrics.Counter
+
 	start time.Time
+}
+
+// peerCounter returns the per-peer counter in byPeer, creating it on first
+// use.
+func (m *serverMetrics) peerCounter(byPeer map[string]*metrics.Counter, peer string) *metrics.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := byPeer[peer]
+	if !ok {
+		c = &metrics.Counter{}
+		byPeer[peer] = c
+	}
+	return c
+}
+
+// ringForwarded counts one successfully proxied request to peer.
+func (m *serverMetrics) ringForwarded(peer string) {
+	m.peerCounter(m.ringForwards, peer).Inc()
+}
+
+// ringPeerError counts one failed forward attempt to peer.
+func (m *serverMetrics) ringPeerError(peer string) {
+	m.peerCounter(m.ringErrors, peer).Inc()
 }
 
 // replayStarted marks one /v1/replay stream opening; the returned func
@@ -66,10 +100,12 @@ type endpointMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
-		endpoints: make(map[string]*endpointMetrics),
-		plans:     make(map[string]*metrics.Counter),
-		tenants:   make(map[string]*tenantMetrics),
-		start:     time.Now(),
+		endpoints:    make(map[string]*endpointMetrics),
+		plans:        make(map[string]*metrics.Counter),
+		tenants:      make(map[string]*tenantMetrics),
+		ringForwards: make(map[string]*metrics.Counter),
+		ringErrors:   make(map[string]*metrics.Counter),
+		start:        time.Now(),
 	}
 }
 
@@ -179,10 +215,29 @@ func (m *serverMetrics) writeTenantLabeled(w io.Writer, metric, label string, te
 	}
 }
 
+// writePeerLabeled renders one per-peer counter family, snapshotting the map
+// under the metrics lock before printing.
+func (m *serverMetrics) writePeerLabeled(w io.Writer, metric string, byPeer map[string]*metrics.Counter) {
+	m.mu.Lock()
+	peers := make([]string, 0, len(byPeer))
+	for p := range byPeer {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	counts := make(map[string]uint64, len(peers))
+	for _, p := range peers {
+		counts[p] = byPeer[p].Value()
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		fmt.Fprintf(w, "%s{peer=%q} %d\n", metric, p, counts[p])
+	}
+}
+
 // writePrometheus renders every metric in the text exposition format. The
-// cache and tenant registry are passed in so their gauges reflect live
-// state (reg may be nil when no tenants are configured).
-func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tenant.Registry) {
+// cache, tenant registry and ring view are passed in so their gauges reflect
+// live state (reg and rs may be nil when unconfigured).
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tenant.Registry, rs *ringState) {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.endpoints))
 	for p := range m.endpoints {
@@ -295,6 +350,31 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 	fmt.Fprintln(w, "# HELP chronosd_replay_events_total NDJSON events emitted over /v1/replay.")
 	fmt.Fprintln(w, "# TYPE chronosd_replay_events_total counter")
 	fmt.Fprintf(w, "chronosd_replay_events_total %d\n", m.replayEvents.Value())
+
+	fmt.Fprintln(w, "# HELP chronosd_ring_nodes Replicas in the consistent-hash ring (0 = sharding off).")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_nodes gauge")
+	nodes := 0
+	if rs != nil {
+		nodes = rs.ring.Len()
+	}
+	fmt.Fprintf(w, "chronosd_ring_nodes %d\n", nodes)
+	if rs != nil {
+		fmt.Fprintln(w, "# HELP chronosd_ring_owned_fraction Fraction of the plan keyspace this replica owns.")
+		fmt.Fprintln(w, "# TYPE chronosd_ring_owned_fraction gauge")
+		fmt.Fprintf(w, "chronosd_ring_owned_fraction %g\n", rs.ring.OwnedFraction(rs.self))
+	}
+	fmt.Fprintln(w, "# HELP chronosd_ring_forwarded_total Requests proxied to the owning replica, by peer.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_forwarded_total counter")
+	m.writePeerLabeled(w, "chronosd_ring_forwarded_total", m.ringForwards)
+	fmt.Fprintln(w, "# HELP chronosd_ring_peer_errors_total Failed forward attempts, by peer.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_peer_errors_total counter")
+	m.writePeerLabeled(w, "chronosd_ring_peer_errors_total", m.ringErrors)
+	fmt.Fprintln(w, "# HELP chronosd_ring_local_fallbacks_total Non-owned keys computed locally because the owner was unreachable.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_local_fallbacks_total counter")
+	fmt.Fprintf(w, "chronosd_ring_local_fallbacks_total %d\n", m.ringLocalFallbacks.Value())
+	fmt.Fprintln(w, "# HELP chronosd_ring_received_forwards_total Requests served under the single-hop forwarding guard.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_received_forwards_total counter")
+	fmt.Fprintf(w, "chronosd_ring_received_forwards_total %d\n", m.ringReceivedForwards.Value())
 
 	fmt.Fprintln(w, "# HELP chronosd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE chronosd_uptime_seconds gauge")

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"chronos/internal/ring"
+)
+
+// Sharding headers. ForwardedFromHeader marks a request as already forwarded
+// once (its value is the sender's self URL); a replica that receives it
+// always computes locally, so ownership disagreements during a rolling
+// membership change degrade to one extra hop, never a forwarding loop.
+// ServedByHeader names the replica that actually computed (or cached) the
+// response, which is how the ring demo and the fleet tests observe
+// cross-replica serving.
+const (
+	ForwardedFromHeader = "X-Chronosd-Forwarded-From"
+	ServedByHeader      = "X-Chronosd-Served-By"
+)
+
+// ringState is one immutable view of the fleet: the consistent-hash ring
+// over the member URLs plus per-peer forwarding state. Membership changes
+// (SetRing, typically on SIGHUP) swap in a whole new ringState; in-flight
+// requests keep the view they started with.
+type ringState struct {
+	ring  *ring.Ring
+	self  string
+	peers map[string]*peerState // by member URL, excluding self
+}
+
+// peerState carries what this replica knows about one peer: its base URL and
+// the circuit breaker guarding forwards to it. It survives membership
+// reloads for peers that remain in the fleet, so a reload does not reset a
+// deliberately opened circuit.
+type peerState struct {
+	base    string
+	breaker breaker
+}
+
+// breaker is a consecutive-failure circuit breaker. After threshold
+// consecutive forward failures the circuit opens for cooldown, during which
+// forwards to the peer are skipped in favor of local computation — keeping a
+// dead replica from adding a connect-timeout to every request it used to
+// own.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	failures  atomic.Int32
+	openUntil atomic.Int64 // unix nanos; 0 = closed
+}
+
+// allow reports whether a forward may be attempted now.
+func (b *breaker) allow() bool {
+	return time.Now().UnixNano() >= b.openUntil.Load()
+}
+
+// fail records one forward failure, opening the circuit at the threshold.
+func (b *breaker) fail() {
+	if int(b.failures.Add(1)) >= b.threshold {
+		b.openUntil.Store(time.Now().Add(b.cooldown).UnixNano())
+		b.failures.Store(0)
+	}
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.failures.Store(0)
+	b.openUntil.Store(0)
+}
+
+// SetRing swaps the fleet membership, rebuilding the consistent-hash ring.
+// A zero Membership disables sharding (every key is computed locally).
+// chronosd calls this on SIGHUP alongside SetTenants, so one signal reloads
+// both tenant budgets and ring membership. Circuit-breaker state carries
+// over for peers present in both the old and new membership.
+func (s *Server) SetRing(m ring.Membership) error {
+	if !m.Enabled() {
+		s.ringSt.Store(nil)
+		return nil
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	members := m.Members()
+	r := ring.New(members, s.cfg.RingVirtualNodes)
+	self := ring.NormalizeURL(m.Self)
+	old := s.ringSt.Load()
+	peers := make(map[string]*peerState, len(members))
+	for _, n := range r.Nodes() {
+		if n == self {
+			continue
+		}
+		if old != nil {
+			if p, ok := old.peers[n]; ok {
+				peers[n] = p
+				continue
+			}
+		}
+		peers[n] = &peerState{base: n, breaker: breaker{
+			threshold: s.cfg.BreakerThreshold,
+			cooldown:  s.cfg.BreakerCooldown,
+		}}
+	}
+	s.ringSt.Store(&ringState{ring: r, self: self, peers: peers})
+	return nil
+}
+
+// RingMembers returns the current membership view (empty when sharding is
+// disabled). Exposed for tests and embedders.
+func (s *Server) RingMembers() (self string, members []string) {
+	rs := s.ringSt.Load()
+	if rs == nil {
+		return "", nil
+	}
+	return rs.self, rs.ring.Nodes()
+}
+
+// forwardToOwner implements the sharded serving path for one plan-keyed
+// request. It returns true when the response has been fully written (the
+// request was proxied to the owning replica); false means the caller must
+// compute locally — either because this replica owns the key, sharding is
+// off, the request already took its one forwarding hop, or the owner is
+// unreachable (circuit open or forward failed) and we fall back to local
+// computation rather than failing the request.
+//
+// payload is the decoded request, re-marshaled for the forward so that
+// fields this replica resolved (e.g. tenant econ defaults) travel with it
+// and the owner computes the exact cache key the routing decision used.
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path, key string, payload any) bool {
+	rs := s.ringSt.Load()
+	if rs == nil {
+		return false
+	}
+	// A replica that computes locally stamps itself; the proxy branch below
+	// overwrites this with the owner's stamp when the forward succeeds.
+	w.Header().Set(ServedByHeader, rs.self)
+	if r.Header.Get(ForwardedFromHeader) != "" {
+		// Single-hop guard: this request was already forwarded once.
+		s.metrics.ringReceivedForwards.Inc()
+		return false
+	}
+	owner, ok := rs.ring.Owner(key)
+	if !ok || owner == rs.self {
+		return false
+	}
+	peer := rs.peers[owner]
+	if peer == nil {
+		// Membership raced a reload between Owner and the peer lookup;
+		// serving locally is always safe.
+		return false
+	}
+	if !peer.breaker.allow() {
+		s.metrics.ringLocalFallbacks.Inc()
+		return false
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		peer.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedFromHeader, rs.self)
+	resp, err := s.forwardClient.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away mid-forward. The peer's health is not in
+			// question — don't charge its breaker — and a local fallback
+			// would compute a plan nobody reads; drop the request.
+			return true
+		}
+		peer.breaker.fail()
+		s.metrics.ringPeerError(owner)
+		s.metrics.ringLocalFallbacks.Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= http.StatusInternalServerError {
+		// The owner answered but is unhealthy; treat like unreachable and
+		// compute locally rather than relaying its failure.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		peer.breaker.fail()
+		s.metrics.ringPeerError(owner)
+		s.metrics.ringLocalFallbacks.Inc()
+		return false
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// Config drift during a rolling rollout: this replica resolved the
+		// request (tenant lookup included) before forwarding, so an owner
+		// 404 means its view disagrees — serve locally instead of failing a
+		// request we know how to answer. The peer is healthy; don't touch
+		// the breaker failure count.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		s.metrics.ringLocalFallbacks.Inc()
+		return false
+	}
+	// Buffer the full answer before committing the status line: an owner
+	// that stalls mid-body inside the forward timeout must degrade to local
+	// fallback, not to a 200 with a truncated JSON body the client cannot
+	// decode. Plan and admit answers are small; the cap only guards a
+	// misbehaving peer.
+	relayed, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
+	if err != nil || len(relayed) > maxRelayBytes {
+		if r.Context().Err() != nil {
+			return true // client gone mid-read; same as above
+		}
+		peer.breaker.fail()
+		s.metrics.ringPeerError(owner)
+		s.metrics.ringLocalFallbacks.Inc()
+		return false
+	}
+	peer.breaker.success()
+	s.metrics.ringForwarded(owner)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if sb := resp.Header.Get(ServedByHeader); sb != "" {
+		w.Header().Set(ServedByHeader, sb)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(relayed)
+	return true
+}
+
+// maxRelayBytes caps a buffered forwarded response. Far above any real plan
+// or admit answer; a peer streaming more than this is broken.
+const maxRelayBytes = 1 << 20

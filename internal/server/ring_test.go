@@ -1,0 +1,464 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chronos/internal/ring"
+)
+
+// newRingFleet boots n in-process replicas and joins them into one
+// consistent-hash ring. Each replica gets its own Server (cache, metrics,
+// optional tenant registry via mkCfg) fronted by an httptest listener; ring
+// membership is applied after the listeners exist because the URLs are not
+// known before.
+func newRingFleet(t *testing.T, n int, mkCfg func(i int) Config) ([]*Server, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*Server, n)
+	listeners := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		servers[i] = New(mkCfg(i))
+		listeners[i] = httptest.NewServer(servers[i].Handler())
+		t.Cleanup(listeners[i].Close)
+		urls[i] = listeners[i].URL
+	}
+	for i := 0; i < n; i++ {
+		if err := servers[i].SetRing(ring.Membership{Self: urls[i], Peers: urls}); err != nil {
+			t.Fatalf("SetRing(replica %d): %v", i, err)
+		}
+	}
+	return servers, listeners
+}
+
+// fleetOwner resolves which replica index owns the plan key of req on
+// replica 0's ring view (all views agree by construction).
+func fleetOwner(t *testing.T, servers []*Server, listeners []*httptest.Server, req planRequest) int {
+	t.Helper()
+	strat, best, ok := keyStrategy(req.Strategy)
+	if !ok {
+		t.Fatalf("bad strategy %q", req.Strategy)
+	}
+	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+	rs := servers[0].ringSt.Load()
+	owner, ok := rs.ring.Owner(key)
+	if !ok {
+		t.Fatal("ring has no owner")
+	}
+	for i, ts := range listeners {
+		if ts.URL == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q is not a fleet member", owner)
+	return -1
+}
+
+func getMetricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of the first metrics line starting with
+// prefix ("" when absent).
+func metricValue(text, prefix string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fields := strings.Fields(line)
+			return fields[len(fields)-1]
+		}
+	}
+	return ""
+}
+
+// TestFleetCrossReplicaCacheHit is the acceptance scenario: a key planned
+// through replica A is a cache hit when requested through replica B, because
+// both forward to the single owning replica instead of each computing and
+// caching independently.
+func TestFleetCrossReplicaCacheHit(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(int) Config { return Config{} })
+	req := planRequest{Job: testJob(), Econ: testEcon()}
+	owner := fleetOwner(t, servers, listeners, req)
+
+	// Route the two requests through two replicas that are not required to
+	// be the owner (with 3 replicas at least one of A, B is a forwarder).
+	respA := postJSON(t, listeners[0].URL+"/v1/plan", req)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("plan via A: status = %d, want 200", respA.StatusCode)
+	}
+	if got := respA.Header.Get(ServedByHeader); got != listeners[owner].URL {
+		t.Errorf("plan via A served by %q, want owner %q", got, listeners[owner].URL)
+	}
+	first := decodeBody[planResponse](t, respA)
+	if first.Cached {
+		t.Error("first fleet request should not be cached")
+	}
+
+	respB := postJSON(t, listeners[1].URL+"/v1/plan", req)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("plan via B: status = %d, want 200", respB.StatusCode)
+	}
+	if got := respB.Header.Get(ServedByHeader); got != listeners[owner].URL {
+		t.Errorf("plan via B served by %q, want owner %q", got, listeners[owner].URL)
+	}
+	second := decodeBody[planResponse](t, respB)
+	if !second.Cached {
+		t.Error("request via B should hit the owner's cache entry planned via A")
+	}
+	if second.Plan != first.Plan {
+		t.Errorf("cross-replica plan %+v differs from original %+v", second.Plan, first.Plan)
+	}
+
+	// Exactly the owner holds the entry: the fleet caches partition the
+	// keyspace instead of overlapping.
+	for i, s := range servers {
+		_, _, entries := s.CacheStats()
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if entries != want {
+			t.Errorf("replica %d caches %d entries, want %d", i, entries, want)
+		}
+	}
+}
+
+// TestFleetConcurrentMixedTraffic hammers every replica with a mix of
+// owned and forwarded keys under -race: concurrent forwarded and local
+// plans must not data-race, and every request must succeed.
+func TestFleetConcurrentMixedTraffic(t *testing.T) {
+	_, listeners := newRingFleet(t, 3, func(int) Config { return Config{} })
+	const workers = 6
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				job := testJob()
+				job.Deadline = 100 + float64((w*perWorker+i)%17) // spread keys over owners
+				req := planRequest{Job: job, Econ: testEcon()}
+				resp := postJSON(t, listeners[(w+i)%3].URL+"/v1/plan", req)
+				if resp.StatusCode != http.StatusOK {
+					errs <- resp.Status
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for status := range errs {
+		t.Errorf("concurrent fleet plan failed: %s", status)
+	}
+}
+
+// TestFleetOwnerDownLocalFallback kills the owning replica: requests routed
+// through the survivors must still succeed via local computation, and the
+// failure must be visible as chronosd_ring_peer_errors_total.
+func TestFleetOwnerDownLocalFallback(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(int) Config {
+		return Config{BreakerThreshold: 100} // keep the circuit closed; every request attempts the forward
+	})
+	req := planRequest{Job: testJob(), Econ: testEcon()}
+	owner := fleetOwner(t, servers, listeners, req)
+	via := (owner + 1) % 3
+	listeners[owner].Close()
+
+	resp := postJSON(t, listeners[via].URL+"/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback plan: status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ServedByHeader); got != listeners[via].URL {
+		t.Errorf("fallback served by %q, want local replica %q", got, listeners[via].URL)
+	}
+	out := decodeBody[planResponse](t, resp)
+	if out.Cached {
+		t.Error("fallback plan cannot be a cache hit")
+	}
+
+	text := getMetricsText(t, listeners[via].URL)
+	errLine := "chronosd_ring_peer_errors_total{peer=\"" + listeners[owner].URL + "\"}"
+	if got := metricValue(text, errLine); got != "1" {
+		t.Errorf("%s = %q, want 1", errLine, got)
+	}
+	if got := metricValue(text, "chronosd_ring_local_fallbacks_total"); got != "1" {
+		t.Errorf("chronosd_ring_local_fallbacks_total = %q, want 1", got)
+	}
+}
+
+// TestFleetBreakerSkipsDeadOwner verifies per-peer circuit breaking: after
+// the threshold of consecutive failures the replica stops attempting
+// forwards to the dead owner (no new peer errors) but keeps serving
+// locally.
+func TestFleetBreakerSkipsDeadOwner(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(int) Config {
+		return Config{BreakerThreshold: 1, BreakerCooldown: time.Hour}
+	})
+	req := planRequest{Job: testJob(), Econ: testEcon()}
+	owner := fleetOwner(t, servers, listeners, req)
+	via := (owner + 1) % 3
+	listeners[owner].Close()
+
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, listeners[via].URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d, want 200", i, resp.StatusCode)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	text := getMetricsText(t, listeners[via].URL)
+	errLine := "chronosd_ring_peer_errors_total{peer=\"" + listeners[owner].URL + "\"}"
+	if got := metricValue(text, errLine); got != "1" {
+		t.Errorf("%s = %q, want 1 (breaker must stop attempts after the first failure)", errLine, got)
+	}
+	if got := metricValue(text, "chronosd_ring_local_fallbacks_total"); got != "3" {
+		t.Errorf("chronosd_ring_local_fallbacks_total = %q, want 3", got)
+	}
+}
+
+// TestForwardLoopGuard sends a request carrying the forwarded marker
+// straight to a replica that does NOT own its key: the replica must answer
+// locally instead of forwarding again.
+func TestForwardLoopGuard(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(int) Config { return Config{} })
+	req := planRequest{Job: testJob(), Econ: testEcon()}
+	owner := fleetOwner(t, servers, listeners, req)
+	via := (owner + 1) % 3
+
+	raw := `{"job":{"tasks":10,"deadline":100,"tmin":10,"beta":1.5,"tauEst":30,"tauKill":60},` +
+		`"econ":{"theta":1e-4,"unitPrice":1}}`
+	hreq, err := http.NewRequest(http.MethodPost, listeners[via].URL+"/v1/plan", strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ForwardedFromHeader, "http://elsewhere:1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ServedByHeader); got != listeners[via].URL {
+		t.Errorf("guarded request served by %q, want local replica %q", got, listeners[via].URL)
+	}
+	out := decodeBody[planResponse](t, resp)
+	if out.Cached {
+		t.Error("guarded request computed locally cannot be a cache hit")
+	}
+	// The non-owner computed and cached locally; the owner never saw it.
+	if _, _, entries := servers[owner].CacheStats(); entries != 0 {
+		t.Errorf("owner cached %d entries for a request it never received", entries)
+	}
+	text := getMetricsText(t, listeners[via].URL)
+	if got := metricValue(text, "chronosd_ring_received_forwards_total"); got != "1" {
+		t.Errorf("chronosd_ring_received_forwards_total = %q, want 1", got)
+	}
+	if got := metricValue(text, "chronosd_ring_forwarded_total{"); got != "" {
+		t.Errorf("guarded request must not be forwarded again, got forwarded counter %q", got)
+	}
+}
+
+// TestFleetAdmitForwarded routes admission control through the ring: the
+// decision (and the ledger debit) lands on the owning replica, whose cache
+// then serves the repeated admit.
+func TestFleetAdmitForwarded(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(int) Config {
+		return Config{Tenants: testRegistry(t, "etl", 1e9)}
+	})
+	areq := admitRequest{Tenant: "etl", Job: testJob()}
+
+	resp := postJSON(t, listeners[0].URL+"/v1/admit", areq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit: status = %d, want 200", resp.StatusCode)
+	}
+	servedBy := resp.Header.Get(ServedByHeader)
+	dec := decodeBody[admitResponse](t, resp)
+	if !dec.Admitted {
+		t.Fatalf("admit rejected: %+v", dec)
+	}
+
+	// The serving replica — and only it — debited its ledger and cached the
+	// unconstrained optimum.
+	debited := 0
+	for i, s := range servers {
+		rem := s.Tenants().Get("etl").Remaining()
+		if rem < 1e9 {
+			debited++
+			if listeners[i].URL != servedBy {
+				t.Errorf("replica %d debited but %q served", i, servedBy)
+			}
+		}
+	}
+	if debited != 1 {
+		t.Errorf("%d replicas debited the admit, want exactly 1", debited)
+	}
+
+	// A second admit through another replica reuses the owner's cached plan:
+	// its cache stats show a hit.
+	resp2 := postJSON(t, listeners[1].URL+"/v1/admit", areq)
+	dec2 := decodeBody[admitResponse](t, resp2)
+	if !dec2.Admitted {
+		t.Fatalf("second admit rejected: %+v", dec2)
+	}
+	hitSomewhere := false
+	for _, s := range servers {
+		if hits, _, _ := s.CacheStats(); hits > 0 {
+			hitSomewhere = true
+		}
+	}
+	if !hitSomewhere {
+		t.Error("repeated admit did not hit any plan cache")
+	}
+}
+
+// TestFleetTenantDriftFallsBackLocally models a rolling tenant-config
+// rollout: the owner does not know the tenant yet (404), so the replica
+// that already resolved it serves — and debits — locally instead of
+// relaying the owner's 404.
+func TestFleetTenantDriftFallsBackLocally(t *testing.T) {
+	servers, listeners := newRingFleet(t, 3, func(i int) Config {
+		return Config{Tenants: testRegistry(t, "etl", 1e9)}
+	})
+	req := planRequest{Job: testJob(), Econ: testEcon(), Tenant: "etl"}
+	owner := fleetOwner(t, servers, listeners, req)
+	via := (owner + 1) % 3
+	// The owner's registry loses the tenant (drifted config).
+	servers[owner].SetTenants(testRegistry(t, "other", 1))
+
+	resp := postJSON(t, listeners[via].URL+"/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drift fallback: status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ServedByHeader); got != listeners[via].URL {
+		t.Errorf("drift fallback served by %q, want local replica %q", got, listeners[via].URL)
+	}
+	out := decodeBody[planResponse](t, resp)
+	if out.BudgetRemaining == nil || *out.BudgetRemaining >= 1e9 {
+		t.Errorf("local fallback did not debit the local ledger: %+v", out)
+	}
+	text := getMetricsText(t, listeners[via].URL)
+	if got := metricValue(text, "chronosd_ring_local_fallbacks_total"); got != "1" {
+		t.Errorf("chronosd_ring_local_fallbacks_total = %q, want 1", got)
+	}
+	// The owner is healthy — the drift must not charge its breaker.
+	errLine := "chronosd_ring_peer_errors_total{peer=\"" + listeners[owner].URL + "\"}"
+	if got := metricValue(text, errLine); got != "" {
+		t.Errorf("%s = %q, want absent", errLine, got)
+	}
+}
+
+// TestSetRingLifecycle covers reload semantics: enabling, swapping, and
+// disabling membership on a live server.
+func TestSetRingLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if self, members := s.RingMembers(); self != "" || members != nil {
+		t.Fatalf("fresh server has ring state %q %v", self, members)
+	}
+
+	if err := s.SetRing(ring.Membership{Peers: []string{"http://b:1"}}); err == nil {
+		t.Fatal("SetRing accepted peers without self")
+	}
+
+	if err := s.SetRing(ring.Membership{Self: ts.URL, Peers: []string{"http://b:1"}}); err != nil {
+		t.Fatal(err)
+	}
+	self, members := s.RingMembers()
+	if self != ts.URL || len(members) != 2 {
+		t.Fatalf("RingMembers = %q %v", self, members)
+	}
+
+	// Requests keep working against a one-sided membership (the other
+	// member may own keys; it is unreachable, so they fall back locally).
+	resp := postJSON(t, ts.URL+"/v1/plan", planRequest{Job: testJob(), Econ: testEcon()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan with unreachable peer: status = %d", resp.StatusCode)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := s.SetRing(ring.Membership{}); err != nil {
+		t.Fatal(err)
+	}
+	if self, members := s.RingMembers(); self != "" || members != nil {
+		t.Fatalf("disabled ring still reports %q %v", self, members)
+	}
+	resp = postJSON(t, ts.URL+"/v1/plan", planRequest{Job: testJob(), Econ: testEcon()})
+	if got := resp.Header.Get(ServedByHeader); got != "" {
+		t.Errorf("ringless response carries %s=%q", ServedByHeader, got)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// TestNewPanicsOnInvalidRingConfig pins the startup contract: a Config with
+// peers but no self is a misconfiguration, not a silent no-op.
+func TestNewPanicsOnInvalidRingConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted peers without self")
+		}
+	}()
+	New(Config{Peers: []string{"http://b:1"}})
+}
+
+// TestRingMetricsGauges checks the membership gauges a fleet dashboard
+// scrapes: node count and this replica's owned-keyspace share.
+func TestRingMetricsGauges(t *testing.T) {
+	_, listeners := newRingFleet(t, 3, func(int) Config { return Config{} })
+	text := getMetricsText(t, listeners[0].URL)
+	if got := metricValue(text, "chronosd_ring_nodes"); got != "3" {
+		t.Errorf("chronosd_ring_nodes = %q, want 3", got)
+	}
+	frac := metricValue(text, "chronosd_ring_owned_fraction")
+	if frac == "" {
+		t.Fatal("chronosd_ring_owned_fraction missing")
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || f <= 0.05 || f >= 0.95 {
+		t.Errorf("chronosd_ring_owned_fraction = %q, want a proper share of a 3-replica ring", frac)
+	}
+}
+
+// TestFleetPinnedStrategyRoutesConsistently pins a strategy and requests
+// the same key through every replica: all three answers must come from one
+// owning replica, the in-process mirror of the scripts/ring-demo.sh smoke.
+func TestFleetPinnedStrategyRoutesConsistently(t *testing.T) {
+	_, listeners := newRingFleet(t, 3, func(int) Config { return Config{} })
+	req := planRequest{Job: testJob(), Econ: testEcon(), Strategy: "clone"}
+	served := make(map[string]bool)
+	for _, ts := range listeners {
+		resp := postJSON(t, ts.URL+"/v1/plan", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		served[resp.Header.Get(ServedByHeader)] = true
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if len(served) != 1 {
+		t.Errorf("pinned-strategy key served by %d replicas, want exactly 1: %v", len(served), served)
+	}
+}

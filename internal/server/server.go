@@ -2,17 +2,20 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"chronos/internal/ring"
 	"chronos/internal/tenant"
 )
 
 // Server is one chronosd instance: HTTP handlers over the chronos planning
 // core, a sharded plan cache, a bounded optimization worker pool, a
-// hot-swappable tenant registry, and Prometheus-style metrics.
+// hot-swappable tenant registry, consistent-hash plan-key sharding across a
+// replica fleet, and Prometheus-style metrics.
 type Server struct {
 	cfg     Config
 	cache   *planCache
@@ -20,23 +23,37 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	tenants atomic.Pointer[tenant.Registry]
+	// ringSt is the current fleet-membership view; nil disables sharding.
+	// Swapped atomically by SetRing (SIGHUP reload path).
+	ringSt atomic.Pointer[ringState]
+	// forwardClient issues cross-replica forwards; its timeout bounds how
+	// long a request waits on a peer before local fallback.
+	forwardClient *http.Client
 	// replaySem bounds concurrently running /v1/replay streams; each
 	// running replay holds one slot.
 	replaySem chan struct{}
 }
 
-// New builds a server from cfg (zero fields take defaults).
+// New builds a server from cfg (zero fields take defaults). Invalid ring
+// membership in cfg (peers without a self URL) panics: it is a startup
+// misconfiguration that would otherwise silently disable sharding —
+// cmd/chronosd validates flags first, so operators see a flag error, not
+// this panic.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		cache:     newPlanCache(cfg.CacheShards, cfg.CacheCapacity),
-		pool:      newWorkerPool(cfg.Workers),
-		metrics:   newServerMetrics(),
-		replaySem: make(chan struct{}, cfg.MaxActiveReplays),
+		cfg:           cfg,
+		cache:         newPlanCache(cfg.CacheShards, cfg.CacheCapacity),
+		pool:          newWorkerPool(cfg.Workers),
+		metrics:       newServerMetrics(),
+		forwardClient: &http.Client{Timeout: cfg.ForwardTimeout},
+		replaySem:     make(chan struct{}, cfg.MaxActiveReplays),
 	}
 	if cfg.Tenants != nil {
 		s.tenants.Store(cfg.Tenants)
+	}
+	if err := s.SetRing(ring.Membership{Self: cfg.Self, Peers: cfg.Peers}); err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/plan", "/v1/plan", s.handlePlan)

@@ -32,7 +32,14 @@ func ParseStrategy(name string) (Strategy, error) {
 
 // MarshalJSON encodes the strategy as its canonical name, so plans read
 // {"strategy":"Speculative-Resume",...} on the wire instead of a bare enum.
+// Out-of-range values (including the zero Strategy — the enum is 1-based)
+// are an error: their String() form "Unknown" can never be unmarshaled, so
+// silently emitting it would produce JSON that no decoder round-trips.
+// (Surfaced by FuzzPlanRequestJSON.)
 func (s Strategy) MarshalJSON() ([]byte, error) {
+	if s < Clone || s > LATE {
+		return nil, fmt.Errorf("chronos: cannot marshal invalid strategy %d", int(s))
+	}
 	return json.Marshal(s.String())
 }
 
