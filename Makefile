@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test bench cover ring-demo ci
+.PHONY: all fmt vet build test bench bench-json bench-check cover ring-demo ci
 
 all: build
 
@@ -23,6 +23,12 @@ test:
 bench: ## one-iteration benchmark smoke run (the CI bench-smoke job)
 	@$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.txt 2>&1; \
 		rc=$$?; cat bench.txt; exit $$rc
+
+bench-json: ## regenerate the per-PR perf trajectory JSON (BENCH_<n>.json)
+	./scripts/bench-json.sh $(or $(OUT),bench.json)
+
+bench-check: ## fail if the cached-plan path regressed >10% vs the baseline
+	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_6.json)
 
 cover: ## -race suite + per-package coverage + the server+tenant gate
 	./scripts/coverage.sh

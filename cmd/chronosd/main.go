@@ -9,6 +9,7 @@
 //	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
 //	         [-tenants tenants.json]
 //	         [-self http://host:port -peers url1,url2,... | -ring ring.json]
+//	         [-log-level info] [-log-sample 1] [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -22,6 +23,13 @@
 //	                     budget debiting
 //	GET  /metrics        Prometheus text metrics
 //	GET  /healthz        liveness probe
+//	GET  /debug/traces   slowest recent request traces with stage breakdowns
+//
+// Every request carries a trace ID (honored from X-Chronosd-Trace-Id or
+// minted) that is stamped on the response, propagated across forward hops,
+// and attached to the sampled JSON request log lines (-log-level,
+// -log-sample). With -debug-addr a second listener serves /debug/pprof/ and
+// /debug/traces, so profiling never shares the serving listener.
 //
 // With -self/-peers (or a -ring membership file), the replica joins a
 // consistent-hash ring over the fleet: /v1/plan and /v1/admit requests whose
@@ -40,12 +48,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"chronos/internal/obs"
 	"chronos/internal/ring"
 	"chronos/internal/server"
 	"chronos/internal/tenant"
@@ -72,18 +82,31 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated fleet base URLs (ring membership)")
 		ringPath      = flag.String("ring", "", "ring membership file (JSON {self, peers}); SIGHUP reloads it")
 		forwardTO     = flag.Duration("forward-timeout", 2*time.Second, "cross-replica forward timeout before local fallback")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		logSample     = flag.Int("log-sample", 1, "log every Nth request line (5xx always log)")
+		debugAddr     = flag.String("debug-addr", "", "separate listener for /debug/pprof/ and /debug/traces (empty disables)")
+		traceRing     = flag.Int("trace-ring", 0, "retained request traces for /debug/traces (0 = 256)")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chronosd:", err)
+		os.Exit(1)
+	}
+	// All operational logs are structured JSON on stderr, machine-parseable
+	// by the same pipeline that ingests the request lines.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	var tenants *tenant.Registry
 	if *tenantsPath != "" {
-		var err error
 		tenants, err = tenant.LoadFile(*tenantsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chronosd:", err)
 			os.Exit(1)
 		}
-		log.Printf("chronosd loaded %d tenant pool(s) from %s", tenants.Len(), *tenantsPath)
+		logger.Info("tenants loaded", "pools", tenants.Len(), "path", *tenantsPath)
 	}
 
 	membership := ring.Membership{Self: *self, Peers: ring.ParsePeers(*peers)}
@@ -92,7 +115,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "chronosd: -ring is mutually exclusive with -self/-peers")
 			os.Exit(1)
 		}
-		var err error
 		membership, err = ring.LoadFile(*ringPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chronosd:", err)
@@ -104,8 +126,9 @@ func main() {
 		os.Exit(1)
 	}
 	if membership.Enabled() {
-		log.Printf("chronosd joining ring as %s with %d member(s)",
-			ring.NormalizeURL(membership.Self), len(membership.Members()))
+		logger.Info("ring join",
+			"self", ring.NormalizeURL(membership.Self),
+			"members", len(membership.Members()))
 	}
 
 	srv := server.New(server.Config{
@@ -127,6 +150,9 @@ func main() {
 		Self:             membership.Self,
 		Peers:            membership.Peers,
 		ForwardTimeout:   *forwardTO,
+		Logger:           logger,
+		LogSample:        *logSample,
+		TraceRingSize:    *traceRing,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -148,23 +174,26 @@ func main() {
 					if *tenantsPath != "" {
 						reloaded, err := tenant.LoadFile(*tenantsPath)
 						if err != nil {
-							log.Printf("chronosd: SIGHUP reload failed, keeping previous tenants: %v", err)
+							logger.Error("SIGHUP tenant reload failed, keeping previous tenants",
+								"path", *tenantsPath, "error", err.Error())
 						} else {
 							reloaded.Rebase(srv.Tenants())
 							srv.SetTenants(reloaded)
-							log.Printf("chronosd reloaded %d tenant pool(s) from %s (plan cache flushed)",
-								reloaded.Len(), *tenantsPath)
+							logger.Info("tenants reloaded (plan cache flushed)",
+								"pools", reloaded.Len(), "path", *tenantsPath)
 						}
 					}
 					if *ringPath != "" {
 						m, err := ring.LoadFile(*ringPath)
 						if err != nil {
-							log.Printf("chronosd: SIGHUP reload failed, keeping previous ring: %v", err)
+							logger.Error("SIGHUP ring reload failed, keeping previous ring",
+								"path", *ringPath, "error", err.Error())
 						} else if err := srv.SetRing(m); err != nil {
-							log.Printf("chronosd: SIGHUP ring swap failed, keeping previous ring: %v", err)
+							logger.Error("SIGHUP ring swap failed, keeping previous ring",
+								"path", *ringPath, "error", err.Error())
 						} else {
-							log.Printf("chronosd reloaded ring membership from %s (%d member(s))",
-								*ringPath, len(m.Members()))
+							logger.Info("ring membership reloaded",
+								"path", *ringPath, "members", len(m.Members()))
 						}
 					}
 				}
@@ -172,12 +201,32 @@ func main() {
 		}()
 	}
 
-	log.Printf("chronosd listening on %s", *addr)
+	// The debug surface gets its own listener: pprof handlers block for up
+	// to their profiling window and must never contend with (or be exposed
+	// on) the serving address.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shutCtx)
+		}()
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+	}
+
+	logger.Info("listening", "addr", *addr,
+		"logLevel", level.String(), "logSample", *logSample)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "chronosd:", err)
 		os.Exit(1)
 	}
 	hits, misses, entries := srv.CacheStats()
-	log.Printf("chronosd stopped (cache: %d hits, %d misses, %d entries)",
-		hits, misses, entries)
+	logger.Info("stopped",
+		"cacheHits", hits, "cacheMisses", misses, "cacheEntries", entries)
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// TracesHandler serves GET /debug/traces: the retained request snapshots,
+// slowest first, as a JSON array. ?n=K limits the answer to the K slowest
+// (default 32, n=0 returns the whole retained window).
+func TracesHandler(ring *TraceRing) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": "n must be a non-negative integer",
+				})
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = json.NewEncoder(w).Encode(ring.Slowest(n))
+	}
+}
+
+// DebugMux is the debug surface chronosd serves on its -debug-addr listener:
+// net/http/pprof under /debug/pprof/ plus the slow-trace buffer under
+// /debug/traces. It is deliberately a separate mux so profiling — whose
+// handlers can run for 30 s and perturb the process — never shares the
+// serving listener or its timeouts.
+func DebugMux(ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", TracesHandler(ring))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

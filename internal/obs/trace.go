@@ -1,0 +1,229 @@
+// Package obs is chronosd's request-scoped observability layer: trace IDs
+// that follow a request across replicas, a lock-free per-stage span recorder
+// for the serving hot path, a ring buffer of recent slow traces, and the
+// pprof/trace debug surface. The serving layer (internal/server) threads a
+// *Trace through every handler; this package owns the vocabulary so the
+// server, the CLIs, and future fleet subsystems (gossip membership, escrow
+// ledger) log and trace through one mechanism.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries a request's trace ID across forward hops and back to
+// the client on every response. An inbound value is honored (after
+// sanitizing) so callers and upstream proxies can stitch chronosd spans into
+// their own traces; absent or unusable values get a freshly minted ID.
+const TraceHeader = "X-Chronosd-Trace-Id"
+
+// Stage indexes one instrumented phase of the serving hot path. Stages are
+// accumulated, not exclusive: a batch request records many Solve spans, a
+// forwarded request records the whole peer round trip under StageForward.
+type Stage uint8
+
+const (
+	// StageQuantize is plan-key construction: float quantization plus
+	// formatting of the cache/ring key.
+	StageQuantize Stage = iota
+	// StageCache is a sharded plan-cache lookup.
+	StageCache
+	// StageSolve is an Algorithm 1 optimization (cache miss, batch strategy
+	// selection, or a budget-capped re-solve).
+	StageSolve
+	// StageDebit is a tenant-ledger debit attempt.
+	StageDebit
+	// StageForward is a cross-replica forward round trip (request out
+	// through response body read).
+	StageForward
+	// StageReplayEmit is NDJSON replay-event encoding, write, and flush.
+	StageReplayEmit
+
+	// NumStages sizes per-stage arrays; keep it last.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"quantize", "cache", "solve", "debit", "forward", "replay_emit",
+}
+
+// String returns the stable label used in logs, metrics, and /debug/traces.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Trace is one request's span recorder. Stage observations are lock-free
+// atomic accumulations (matching the internal/metrics style), so concurrent
+// workers of one request — the batch fan-out — can record without
+// interleaving or locking; the identity fields are written only by the
+// request's own handler goroutine. A nil *Trace is valid everywhere and
+// records nothing, so library call paths without a request context stay
+// uninstrumented at zero cost.
+type Trace struct {
+	// ID is the request's trace ID: honored from the inbound TraceHeader or
+	// minted at the edge.
+	ID string
+	// Route is the stable endpoint label ("/v1/plan", ...).
+	Route string
+
+	start  time.Time
+	nanos  [NumStages]atomic.Int64
+	counts [NumStages]atomic.Int64
+
+	// Single-writer metadata (handler goroutine only).
+	tenant string
+	cached int8 // 0 unknown, 1 miss, 2 hit
+}
+
+// NewTrace starts a trace for route, honoring id when it is usable and
+// minting otherwise.
+func NewTrace(id, route string) *Trace {
+	if !ValidID(id) {
+		id = MintID()
+	}
+	return &Trace{ID: id, Route: route, start: time.Now()}
+}
+
+// Observe adds one stage span of duration d.
+func (t *Trace) Observe(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.nanos[s].Add(int64(d))
+	t.counts[s].Add(1)
+}
+
+// SetTenant records the budget pool the request was routed through. Handler
+// goroutine only.
+func (t *Trace) SetTenant(name string) {
+	if t != nil {
+		t.tenant = name
+	}
+}
+
+// SetCached records whether the plan came from the cache. Handler goroutine
+// only.
+func (t *Trace) SetCached(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.cached = 2
+	} else {
+		t.cached = 1
+	}
+}
+
+// Finish snapshots the trace once the response is written. status is the
+// HTTP status, servedBy the replica that computed the answer (from the
+// response header, empty when sharding is off), and forwardHop reports
+// whether the request arrived already forwarded from a peer.
+func (t *Trace) Finish(status int, elapsed time.Duration, servedBy string, forwardHop bool) *Snapshot {
+	if t == nil {
+		return nil
+	}
+	snap := &Snapshot{
+		ID:         t.ID,
+		Route:      t.Route,
+		Status:     status,
+		Start:      t.start,
+		Seconds:    elapsed.Seconds(),
+		Tenant:     t.tenant,
+		ServedBy:   servedBy,
+		ForwardHop: forwardHop,
+	}
+	if t.cached != 0 {
+		hit := t.cached == 2
+		snap.Cached = &hit
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		snap.StageNanos[s] = t.nanos[s].Load()
+		snap.StageCounts[s] = t.counts[s].Load()
+	}
+	return snap
+}
+
+// Snapshot is the immutable record of one finished request: what /debug/traces
+// serves and the request log line is built from. Stage data is kept as flat
+// arrays so snapshotting stays one allocation on the hot path; MarshalJSON
+// expands them into a keyed object for human consumption.
+type Snapshot struct {
+	ID         string
+	Route      string
+	Status     int
+	Start      time.Time
+	Seconds    float64
+	Tenant     string
+	Cached     *bool
+	ServedBy   string
+	ForwardHop bool
+	StageNanos [NumStages]int64
+	// StageCounts holds per-stage observation counts; for a well-formed
+	// single-plan request each instrumented stage fires at most once, so a
+	// higher count signals fan-out (batch) or retries.
+	StageCounts [NumStages]int64
+}
+
+// StageSeconds returns the accumulated seconds spent in stage s.
+func (sn *Snapshot) StageSeconds(s Stage) float64 {
+	return float64(sn.StageNanos[s]) / 1e9
+}
+
+// ctxKey keys the trace in a request context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil when the request is not
+// traced (library callers, untraced test paths).
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// MintID returns a fresh 128-bit lowercase-hex trace ID. IDs need collision
+// resistance across a fleet, not unpredictability, so the process-seeded
+// math/rand/v2 generator is enough and keeps minting off the hot path's
+// syscall budget.
+func MintID() string {
+	var b [16]byte
+	hi, lo := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(hi >> (56 - 8*i))
+		b[8+i] = byte(lo >> (56 - 8*i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxIDLen bounds honored inbound trace IDs; anything longer is replaced,
+// keeping log lines and headers from amplifying attacker-chosen payloads.
+const maxIDLen = 64
+
+// ValidID reports whether an inbound trace ID is safe to honor: 1..64
+// characters from [0-9A-Za-z._-]. Everything else — empty, oversized, or
+// containing header/log-breaking bytes — gets a minted replacement.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > maxIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -54,6 +54,12 @@ type Event struct {
 	// Summary carries the final aggregates (replay_summary only).
 	Summary *Summary `json:"summary,omitempty"`
 
+	// TraceID is the serving request's trace ID, stamped by the serving
+	// layer on the final replay_summary so a streamed replay correlates
+	// with the server's structured logs and /debug/traces entry. Absent on
+	// library and CLI replays.
+	TraceID string `json:"traceId,omitempty"`
+
 	// Tenant, Needed and Remaining describe a ledger failure
 	// (budget_exhausted only, set by the serving layer).
 	Tenant    string   `json:"tenant,omitempty"`

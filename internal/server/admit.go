@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"chronos"
+	"chronos/internal/obs"
 	"chronos/internal/optimize"
 	"chronos/internal/tenant"
 )
@@ -65,6 +67,8 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	tr.SetTenant(req.Tenant)
 	pool, ok := s.lookupPool(w, req.Tenant)
 	if !ok {
 		return
@@ -82,7 +86,9 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// request carries the filled econ so the owner keys its cache
 	// identically.
 	req.Econ = econ
+	qStart := time.Now()
 	key := planKey(cacheStrategyName(strat, best), req.Job, econ)
+	tr.Observe(obs.StageQuantize, time.Since(qStart))
 	if s.forwardToOwner(w, r, "/v1/admit", key, req) {
 		return
 	}
@@ -96,7 +102,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 	for attempt := 0; attempt < admitDebitRetries; attempt++ {
 		remaining := pool.Remaining()
-		plan, err := s.planWithinBudget(key, strat, best, req.Job, econ, remaining)
+		plan, err := s.planWithinBudget(tr, key, strat, best, req.Job, econ, remaining)
 		if err != nil {
 			if reason := rejectReason(err); reason != "" {
 				reject(reason, remaining)
@@ -105,7 +111,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, planStatus(err), "%v", err)
 			return
 		}
-		if ok, rem := pool.TryDebit(plan.MachineTime); ok {
+		dStart := time.Now()
+		ok, rem := pool.TryDebit(plan.MachineTime)
+		tr.Observe(obs.StageDebit, time.Since(dStart))
+		if ok {
 			s.metrics.planServed(plan.Strategy.String())
 			s.metrics.tenantAdmit(req.Tenant, plan.Strategy.String())
 			writeJSON(w, http.StatusOK, admitResponse{
@@ -122,25 +131,33 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 // cachedPlan returns the unconstrained optimal plan for one job,
 // consulting and populating the sharded plan cache. Every planning path —
 // /v1/plan, the batch strategy fan-out, and admission control — goes
-// through here, so cache policy lives in one place.
-func (s *Server) cachedPlan(strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
-	return s.cachedPlanKeyed(planKey(cacheStrategyName(strat, best), job, econ),
-		strat, best, job, econ)
+// through here, so cache policy (and its stage instrumentation) lives in
+// one place. tr may be nil for untraced callers.
+func (s *Server) cachedPlan(tr *obs.Trace, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
+	qStart := time.Now()
+	key := planKey(cacheStrategyName(strat, best), job, econ)
+	tr.Observe(obs.StageQuantize, time.Since(qStart))
+	return s.cachedPlanKeyed(tr, key, strat, best, job, econ)
 }
 
 // cachedPlanKeyed is cachedPlan for callers that already computed the plan
 // key — the sharded handlers, which need it for the ownership lookup before
 // the cache is consulted — so the ~10-float fmt of planKey runs once per
 // request, not twice.
-func (s *Server) cachedPlanKeyed(key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
-	if plan, hit := s.cache.get(key); hit {
+func (s *Server) cachedPlanKeyed(tr *obs.Trace, key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
+	cStart := time.Now()
+	plan, hit := s.cache.get(key)
+	tr.Observe(obs.StageCache, time.Since(cStart))
+	if hit {
 		return plan, true, nil
 	}
+	sStart := time.Now()
 	if best {
 		plan, err = chronos.OptimizeBest(job, econ)
 	} else {
 		plan, err = chronos.Optimize(strat, job, econ)
 	}
+	tr.Observe(obs.StageSolve, time.Since(sStart))
 	if err != nil {
 		return chronos.Plan{}, false, err
 	}
@@ -152,8 +169,8 @@ func (s *Server) cachedPlanKeyed(key string, strat chronos.Strategy, best bool, 
 // budget. The unconstrained optimum is looked up in (and populates) the
 // plan cache under the caller's precomputed key — squeezed plans depend on
 // the transient ledger level and are never cached.
-func (s *Server) planWithinBudget(key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
-	plan, _, err := s.cachedPlanKeyed(key, strat, best, job, econ)
+func (s *Server) planWithinBudget(tr *obs.Trace, key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
+	plan, _, err := s.cachedPlanKeyed(tr, key, strat, best, job, econ)
 	if err != nil {
 		return chronos.Plan{}, err
 	}
@@ -164,6 +181,8 @@ func (s *Server) planWithinBudget(key string, strat chronos.Strategy, best bool,
 	// extra memoized solve per strategy). Accepted: this branch only runs
 	// when the pool is nearly drained, where correctness of the squeeze
 	// matters and throughput does not.
+	sStart := time.Now()
+	defer func() { tr.Observe(obs.StageSolve, time.Since(sStart)) }()
 	if best {
 		return chronos.OptimizeBestWithinBudget(job, econ, budget)
 	}

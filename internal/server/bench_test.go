@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"chronos/internal/tenant"
 )
 
 // The serving benchmarks measure plans per second through the full handler
@@ -85,6 +87,37 @@ func BenchmarkPlanHandlerCold(b *testing.B) {
 		b.Fatalf("only %d cache misses over %d requests", misses, b.N)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+}
+
+// BenchmarkAdmitHandler measures the online admission path: cached optimal
+// plan plus an atomic ledger debit per request, against a pool deep enough
+// to never reject. This is the per-arrival decision latency of the paper's
+// online setting, tracked per PR in BENCH_*.json.
+func BenchmarkAdmitHandler(b *testing.B) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"bench": {Budget: 1e18},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Tenants: reg})
+	h := s.Handler()
+	raw, err := json.Marshal(admitRequest{Tenant: "bench", Job: testJob(), Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/admit", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
 }
 
 // BenchmarkBatchHandler measures a 64-job shared-budget allocation with

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
 
@@ -80,6 +81,19 @@ type Config struct {
 	// peer. Defaults 3 and 5 s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Logger receives structured logs: sampled per-request lines (trace ID,
+	// route, status, stage breakdown) and unsampled 5xx lines. Nil disables
+	// request logging entirely — the zero-config embedded/test server and
+	// the benchmarks run silent.
+	Logger *slog.Logger
+	// LogSample logs every Nth request line (5xx lines always log). Zero or
+	// one logs every request; production fleets raise it so the cached plan
+	// path does not pay a JSON encode per request.
+	LogSample int
+	// TraceRingSize is how many finished request snapshots /debug/traces
+	// retains. Zero means obs.DefaultTraceRingSize (256).
+	TraceRingSize int
 
 	// Tenants is the initial multi-tenant budget registry. Nil disables
 	// tenant routing: /v1/admit answers 404 and the tenant field on

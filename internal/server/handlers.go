@@ -7,8 +7,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"chronos"
+	"chronos/internal/obs"
 	"chronos/internal/optimize"
 	"chronos/internal/tenant"
 )
@@ -190,6 +192,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	strat, best, ok := keyStrategy(req.Strategy)
 	if !ok {
 		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
@@ -197,6 +200,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	var pool *tenant.Pool
 	if req.Tenant != "" {
+		tr.SetTenant(req.Tenant)
 		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
 			return
 		}
@@ -206,18 +210,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// request there so the fleet's caches partition the keyspace instead of
 	// overlapping. The forwarded request carries the tenant-filled econ, so
 	// the owner's cache key matches this routing decision.
+	qStart := time.Now()
 	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+	tr.Observe(obs.StageQuantize, time.Since(qStart))
 	if s.forwardToOwner(w, r, "/v1/plan", key, req) {
 		return
 	}
-	plan, cached, err := s.cachedPlanKeyed(key, strat, best, req.Job, req.Econ)
+	plan, cached, err := s.cachedPlanKeyed(tr, key, strat, best, req.Job, req.Econ)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
 		return
 	}
+	tr.SetCached(cached)
 	resp := planResponse{Plan: plan, Cached: cached}
 	if pool != nil {
+		dStart := time.Now()
 		ok, rem := pool.TryDebit(plan.MachineTime)
+		tr.Observe(obs.StageDebit, time.Since(dStart))
 		if !ok {
 			s.rejectBudget(w, req.Tenant,
 				"tenant %q cannot cover the plan: needs %g machine-seconds, %g remaining",
@@ -241,6 +250,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	if len(req.Jobs) == 0 {
 		httpError(w, http.StatusBadRequest, "batch has no jobs")
 		return
@@ -252,6 +262,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var pool *tenant.Pool
 	if req.Tenant != "" {
+		tr.SetTenant(req.Tenant)
 		var ok bool
 		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
 			return
@@ -294,7 +305,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			strategies[i] = strat
 			return
 		}
-		plan, _, err := s.cachedPlan(0, true, jr.Job, req.Econ)
+		// tr is shared across the fan-out; its stage accumulation is atomic,
+		// so concurrent selections fold into one batch-wide span.
+		plan, _, err := s.cachedPlan(tr, 0, true, jr.Job, req.Econ)
 		if err != nil {
 			errs[i] = fmt.Errorf("job %d: %w", i, err)
 			return
@@ -365,7 +378,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if debit > budget {
 			debit = budget
 		}
-		if ok, rem := pool.TryDebit(debit); ok {
+		dStart := time.Now()
+		ok, rem := pool.TryDebit(debit)
+		tr.Observe(obs.StageDebit, time.Since(dStart))
+		if ok {
 			budgetRemaining = &rem
 			break
 		}

@@ -10,8 +10,21 @@ import (
 	"time"
 
 	"chronos/internal/metrics"
+	"chronos/internal/obs"
 	"chronos/internal/tenant"
 )
+
+// stageBuckets covers the per-stage span range: a sharded cache lookup is
+// ~100 ns, a cold three-strategy solve ~500 µs, a cross-replica forward or a
+// long replay's cumulative event writes can reach seconds. The default
+// request-latency buckets bottom out at 100 µs — far too coarse here.
+func stageBuckets() []float64 {
+	return []float64{
+		1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5,
+	}
+}
 
 // serverMetrics aggregates the serving-side observability state: request
 // counts and latency histograms per endpoint, plans served per strategy,
@@ -41,7 +54,26 @@ type serverMetrics struct {
 	// guard header and were therefore computed locally.
 	ringReceivedForwards metrics.Counter
 
+	// stageSeconds histograms the per-request time spent in each hot-path
+	// stage (chronosd_stage_seconds{stage=...}); each request contributes
+	// its accumulated span per stage that fired.
+	stageSeconds [obs.NumStages]*metrics.LatencyHistogram
+
 	start time.Time
+}
+
+// observeStages folds one finished request's span breakdown into the
+// per-stage histograms. Stages that never fired contribute nothing, so
+// endpoint mix does not flatten the distributions.
+func (m *serverMetrics) observeStages(snap *obs.Snapshot) {
+	if snap == nil {
+		return
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if snap.StageCounts[s] != 0 {
+			m.stageSeconds[s].Observe(snap.StageSeconds(s))
+		}
+	}
 }
 
 // peerCounter returns the per-peer counter in byPeer, creating it on first
@@ -99,7 +131,7 @@ type endpointMetrics struct {
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{
+	m := &serverMetrics{
 		endpoints:    make(map[string]*endpointMetrics),
 		plans:        make(map[string]*metrics.Counter),
 		tenants:      make(map[string]*tenantMetrics),
@@ -107,6 +139,10 @@ func newServerMetrics() *serverMetrics {
 		ringErrors:   make(map[string]*metrics.Counter),
 		start:        time.Now(),
 	}
+	for s := range m.stageSeconds {
+		m.stageSeconds[s] = metrics.NewLatencyHistogram(stageBuckets()...)
+	}
+	return m
 }
 
 // endpoint returns the per-endpoint accumulator, creating it on first use.
@@ -284,6 +320,20 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 			path, snap.Count)
 		fmt.Fprintf(w, "chronosd_request_duration_seconds_sum{endpoint=%q} %g\n", path, snap.Sum)
 		fmt.Fprintf(w, "chronosd_request_duration_seconds_count{endpoint=%q} %d\n", path, snap.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP chronosd_stage_seconds Per-request time in each hot-path stage.")
+	fmt.Fprintln(w, "# TYPE chronosd_stage_seconds histogram")
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		snap := m.stageSeconds[s].Snapshot()
+		stage := s.String()
+		for i, bound := range snap.Bounds {
+			fmt.Fprintf(w, "chronosd_stage_seconds_bucket{stage=%q,le=%q} %d\n",
+				stage, strconv.FormatFloat(bound, 'g', -1, 64), snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "chronosd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, snap.Count)
+		fmt.Fprintf(w, "chronosd_stage_seconds_sum{stage=%q} %g\n", stage, snap.Sum)
+		fmt.Fprintf(w, "chronosd_stage_seconds_count{stage=%q} %d\n", stage, snap.Count)
 	}
 
 	fmt.Fprintln(w, "# HELP chronosd_plans_total Plans served, by winning strategy.")

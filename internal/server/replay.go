@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"chronos"
+	"chronos/internal/obs"
 	"chronos/internal/tenant"
 )
 
@@ -86,8 +87,10 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	var pool *tenant.Pool
 	if req.Tenant != "" {
+		tr.SetTenant(req.Tenant)
 		var ok bool
 		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
 			return
@@ -114,6 +117,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		w:  w,
 		rc: http.NewResponseController(w),
 		m:  s.metrics,
+		tr: tr,
 	}
 	finish := s.metrics.replayStarted()
 	defer finish()
@@ -217,15 +221,24 @@ func validateReplayBounds(cfg Config, req replayRequest, jobs []chronos.SimJob) 
 
 // ndjsonStream writes one JSON event per line, flushing each so consumers
 // see events as they happen. The 200 header goes out with the first event.
+// Each write's encode+write+flush accumulates into the request trace's
+// replay_emit span, and the final replay_summary is stamped with the trace
+// ID so the streamed result correlates with the server-side logs.
 type ndjsonStream struct {
 	w       http.ResponseWriter
 	rc      *http.ResponseController
 	m       *serverMetrics
+	tr      *obs.Trace
 	started bool
 	lastSeq uint64
 }
 
 func (st *ndjsonStream) write(ev *chronos.ReplayEvent) error {
+	emitStart := time.Now()
+	defer func() { st.tr.Observe(obs.StageReplayEmit, time.Since(emitStart)) }()
+	if ev.Kind == chronos.EventReplaySummary && st.tr != nil {
+		ev.TraceID = st.tr.ID
+	}
 	st.lastSeq = ev.Seq
 	if !st.started {
 		st.started = true

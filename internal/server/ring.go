@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chronos/internal/obs"
 	"chronos/internal/ring"
 )
 
@@ -169,6 +170,16 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path, ke
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedFromHeader, rs.self)
+	// The trace ID travels with the forward so the owner's span record,
+	// logs, and response carry the same ID this replica minted (or
+	// honored); the whole round trip — request out through body read — is
+	// one StageForward span on this side.
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	fwdStart := time.Now()
+	defer func() { tr.Observe(obs.StageForward, time.Since(fwdStart)) }()
 	resp, err := s.forwardClient.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {

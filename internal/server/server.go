@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chronos/internal/obs"
 	"chronos/internal/ring"
 	"chronos/internal/tenant"
 )
@@ -32,6 +33,11 @@ type Server struct {
 	// replaySem bounds concurrently running /v1/replay streams; each
 	// running replay holds one slot.
 	replaySem chan struct{}
+	// traces retains finished request snapshots for GET /debug/traces;
+	// reqLog emits the sampled structured request lines. Both tolerate
+	// being unused (reqLog is nil without a configured logger).
+	traces *obs.TraceRing
+	reqLog *obs.Logger
 }
 
 // New builds a server from cfg (zero fields take defaults). Invalid ring
@@ -48,6 +54,8 @@ func New(cfg Config) *Server {
 		metrics:       newServerMetrics(),
 		forwardClient: &http.Client{Timeout: cfg.ForwardTimeout},
 		replaySem:     make(chan struct{}, cfg.MaxActiveReplays),
+		traces:        obs.NewTraceRing(cfg.TraceRingSize),
+		reqLog:        obs.FromSlog(cfg.Logger, cfg.LogSample),
 	}
 	if cfg.Tenants != nil {
 		s.tenants.Store(cfg.Tenants)
@@ -64,8 +72,20 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/replay", "/v1/replay", s.handleReplay)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
+	// The slow-trace buffer is also reachable on the serving listener (it is
+	// a cheap JSON GET); the pprof surface is only on DebugHandler, so
+	// profiling never shares the serving listener. Registered outside
+	// route(): inspecting traces should not itself mint traces.
+	s.mux.Handle("GET /debug/traces", obs.TracesHandler(s.traces))
 	return s
 }
+
+// DebugHandler returns the debug surface chronosd serves on a separate
+// -debug-addr listener: /debug/pprof/* plus /debug/traces.
+func (s *Server) DebugHandler() http.Handler { return obs.DebugMux(s.traces) }
+
+// Traces exposes the retained slow-trace ring (tests, embedders).
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
 
 // Tenants returns the live tenant registry (nil when none is configured).
 func (s *Server) Tenants() *tenant.Registry { return s.tenants.Load() }
@@ -84,8 +104,12 @@ func (s *Server) SetTenants(reg *tenant.Registry) {
 func (s *Server) FlushCache() { s.cache.flush() }
 
 // route registers pattern with the instrumentation middleware: request body
-// capping, latency measurement, and per-endpoint/status counting under the
-// stable label name.
+// capping, latency measurement, per-endpoint/status counting under the
+// stable label name, and request-scoped tracing — every request gets a
+// trace ID (honored from the inbound X-Chronosd-Trace-Id or minted here),
+// stamped on the response, carried in the request context for the handlers'
+// stage spans, and finished into the slow-trace ring, the per-stage
+// histograms, and the sampled structured request log.
 func (s *Server) route(pattern, label string, h http.HandlerFunc) {
 	em := s.metrics.endpoint(label)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -93,9 +117,21 @@ func (s *Server) route(pattern, label string, h http.HandlerFunc) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		start := time.Now()
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader), label)
+		w.Header().Set(obs.TraceHeader, tr.ID)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r)
-		em.observe(rec.code, time.Since(start).Seconds())
+		h(rec, r.WithContext(obs.NewContext(r.Context(), tr)))
+		elapsed := time.Since(start)
+		em.observe(rec.code, elapsed.Seconds())
+		// ServedByHeader is stamped by the sharded path (self or, after a
+		// successful proxy, the owning replica); reading it back here keeps
+		// the snapshot consistent with what the client saw.
+		snap := tr.Finish(rec.code, elapsed,
+			rec.Header().Get(ServedByHeader),
+			r.Header.Get(ForwardedFromHeader) != "")
+		s.metrics.observeStages(snap)
+		s.traces.Add(snap)
+		s.reqLog.Request(snap)
 	})
 }
 

@@ -2,7 +2,10 @@
 # ring-demo.sh — boots 3 chronosd replicas joined into one consistent-hash
 # ring and demonstrates the point of plan-key sharding: a plan computed via
 # replica A is a cache hit when the same job is requested via replica B,
-# because both forward the key to its single owning replica. Also used as
+# because both forward the key to its single owning replica. It then sends a
+# request with a caller-chosen X-Chronosd-Trace-Id through a non-owning
+# replica and greps that ID out of BOTH replicas' structured logs — the
+# out-of-process proof that one trace ID spans a forward hop. Also used as
 # the CI smoke step for the ring serving path (make ring-demo).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,17 +21,21 @@ for p in "${PORTS[@]}"; do
   PEERS="${PEERS:+$PEERS,}http://127.0.0.1:$p"
 done
 
+LOG_DIR="$(mktemp -d)"
 PIDS=()
 cleanup() {
   for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
   wait 2>/dev/null || true
-  rm -rf "$(dirname "$BIN")"
+  rm -rf "$(dirname "$BIN")" "$LOG_DIR"
 }
 trap cleanup EXIT
 
-echo "== starting 3 replicas (ring: $PEERS) =="
+# Each replica's structured JSON logs go to a per-port file so the trace
+# propagation check below can grep a specific replica's view of a request.
+echo "== starting 3 replicas (ring: $PEERS; logs in $LOG_DIR) =="
 for p in "${PORTS[@]}"; do
-  "$BIN" -addr "127.0.0.1:$p" -self "http://127.0.0.1:$p" -peers "$PEERS" &
+  "$BIN" -addr "127.0.0.1:$p" -self "http://127.0.0.1:$p" -peers "$PEERS" \
+    2>"$LOG_DIR/$p.log" &
   PIDS+=($!)
 done
 
@@ -69,5 +76,41 @@ rm -f "$HDRS_A" "$HDRS_B"
 echo "== ring metrics on replica A =="
 curl -sf "$A/metrics" | grep '^chronosd_ring_'
 
+# --- one trace ID across the forward hop -----------------------------------
+# Send a request with an explicit trace ID through a replica that does NOT
+# own the key (the owner is known from the requests above), then find that
+# ID in the logs of both the entry replica and the owner.
+ENTRY=""
+for p in "${PORTS[@]}"; do
+  [ "http://127.0.0.1:$p" != "$OWNER" ] && { ENTRY="http://127.0.0.1:$p"; break; }
+done
+OWNER_PORT="${OWNER##*:}"
+ENTRY_PORT="${ENTRY##*:}"
+TRACE_ID="ring-demo-$$"
+
+echo "== traced plan via non-owner $ENTRY (trace ID $TRACE_ID) =="
+HDRS_T="$(mktemp)"
+curl -sf -D "$HDRS_T" -X POST -H 'Content-Type: application/json' \
+  -H "X-Chronosd-Trace-Id: $TRACE_ID" -d "$BODY" "$ENTRY/v1/plan" >/dev/null
+ECHOED="$(awk -F': ' 'tolower($1)=="x-chronosd-trace-id" {gsub(/\r/,"",$2); print $2}' "$HDRS_T")"
+rm -f "$HDRS_T"
+[ "$ECHOED" = "$TRACE_ID" ] \
+  || { echo "FAIL: response echoed trace ID '$ECHOED', want '$TRACE_ID'"; exit 1; }
+
+for port in "$ENTRY_PORT" "$OWNER_PORT"; do
+  # Log writes are asynchronous to the HTTP response; give them a moment.
+  for _ in $(seq 1 20); do
+    grep -q "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$port.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$port.log" \
+    || { echo "FAIL: trace $TRACE_ID missing from replica :$port's request log"; exit 1; }
+  echo "   replica :$port logged the trace:"
+  grep "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$port.log" | head -1 | sed 's/^/     /'
+done
+grep "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$ENTRY_PORT.log" | grep -q '"forward"' \
+  || { echo "FAIL: entry replica's log line has no forward span"; exit 1; }
+
 echo
 echo "OK: cross-replica cache hit — planned via A, hit via B, owned by $OWNER"
+echo "OK: trace $TRACE_ID spans the forward hop ($ENTRY -> $OWNER)"
