@@ -28,7 +28,7 @@ bench-json: ## regenerate the per-PR perf trajectory JSON (BENCH_<n>.json)
 	./scripts/bench-json.sh $(or $(OUT),bench.json)
 
 bench-check: ## fail if the cached-plan path regressed >10% vs the baseline
-	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_6.json)
+	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_7.json)
 
 cover: ## -race suite + per-package coverage + the server+tenant gate
 	./scripts/coverage.sh

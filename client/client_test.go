@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chronos"
+	"chronos/internal/ring"
+	"chronos/internal/server"
+	"chronos/internal/tenant"
+)
+
+// newFleet boots n in-process chronosd replicas wired into one ring and
+// returns a fleet client over them.
+func newFleet(t *testing.T, n int, mkCfg func(i int) server.Config) (*Client, []*server.Server) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		servers[i] = server.New(mkCfg(i))
+		ts := httptest.NewServer(servers[i].Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	for i := 0; i < n; i++ {
+		if err := servers[i].SetRing(ring.Membership{Self: urls[i], Peers: urls}); err != nil {
+			t.Fatalf("SetRing(replica %d): %v", i, err)
+		}
+	}
+	c, err := NewFleet(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+// TestFleetClientRoutesToOwner is the client package's core property: the
+// client-side ring agrees with the server-side ring, so plan requests land
+// on the owning replica directly and the servers never pay a forward hop.
+func TestFleetClientRoutesToOwner(t *testing.T) {
+	c, _ := newFleet(t, 3, func(i int) server.Config { return server.Config{} })
+	ctx := context.Background()
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+	for i := 0; i < 12; i++ {
+		job := chronos.JobParams{
+			Tasks: 10 + i, Deadline: 100, TMin: 10, Beta: 1.5,
+			TauEst: 30, TauKill: 60,
+		}
+		if _, err := c.Plan(ctx, PlanRequest{Job: job, Econ: econ}); err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+	}
+	// If the client mis-routed anything, some replica would report a
+	// received forward or an outbound forward.
+	for i, base := range c.Replicas() {
+		text, err := metricsAt(ctx, c, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, metric := range []string{
+			"chronosd_ring_received_forwards_total",
+			"chronosd_ring_forwarded_total",
+		} {
+			for _, line := range strings.Split(text, "\n") {
+				if strings.HasPrefix(line, metric) && !strings.HasSuffix(line, " 0") {
+					t.Errorf("replica %d: client-side routing missed the owner: %s", i, line)
+				}
+			}
+		}
+	}
+}
+
+// metricsAt fetches one specific replica's metrics (Metrics() round-robins,
+// which the routing assertion must not depend on).
+func metricsAt(ctx context.Context, c *Client, base string) (string, error) {
+	solo := New(base, WithHTTPClient(c.http))
+	return solo.Metrics(ctx)
+}
+
+// TestClientDecodesErrorEnvelope: a 429 tenant rejection surfaces as
+// *client.Error carrying the unified envelope's code and trace ID.
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"tiny": {Budget: 1, Theta: 1e-4, UnitPrice: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Tenants: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+
+	job := chronos.JobParams{Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5, TauEst: 30, TauKill: 60}
+	_, err = c.Plan(context.Background(), PlanRequest{Tenant: "tiny", Job: job})
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *client.Error, got %v", err)
+	}
+	if apiErr.Status != 429 {
+		t.Errorf("status = %d, want 429", apiErr.Status)
+	}
+	if apiErr.Code != CodeBudgetExhausted {
+		t.Errorf("code = %q, want %q", apiErr.Code, CodeBudgetExhausted)
+	}
+	if apiErr.TraceID == "" {
+		t.Error("trace ID missing from error envelope")
+	}
+	if !strings.Contains(apiErr.Message, "tiny") {
+		t.Errorf("message %q does not name the tenant", apiErr.Message)
+	}
+}
+
+// TestClientAdmitAndBatch exercises the remaining typed endpoints against a
+// solo replica.
+func TestClientAdmitAndBatch(t *testing.T) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"team": {Budget: 5000, Theta: 1e-4, UnitPrice: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Tenants: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	job := chronos.JobParams{Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5, TauEst: 30, TauKill: 60}
+	dec, err := c.Admit(ctx, AdmitRequest{Tenant: "team", Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted || dec.Plan == nil {
+		t.Fatalf("admit = %+v, want admitted with a plan", dec)
+	}
+
+	batch, err := c.PlanBatch(ctx, BatchRequest{
+		Jobs:   []BatchJob{{Job: job}, {Job: job, Strategy: "clone"}},
+		Budget: 5000,
+		Econ:   chronos.Econ{Theta: 1e-4, UnitPrice: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Plans) != 2 {
+		t.Fatalf("batch plans = %d, want 2", len(batch.Plans))
+	}
+	if batch.TotalMachineTime > batch.Budget {
+		t.Errorf("allocation %g exceeds budget %g", batch.TotalMachineTime, batch.Budget)
+	}
+}

@@ -9,6 +9,9 @@
 //	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
 //	         [-tenants tenants.json]
 //	         [-self http://host:port -peers url1,url2,... | -ring ring.json]
+//	         [-escrow] [-data-dir /var/lib/chronosd]
+//	         [-escrow-lease-ttl 15s] [-escrow-lease-fraction 0.1]
+//	         [-snapshot-interval 30s]
 //	         [-log-level info] [-log-sample 1] [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints:
@@ -37,6 +40,14 @@
 // partition the keyspace instead of overlapping. An unreachable owner
 // degrades to local computation (per-peer circuit breaking), never to a
 // failed request.
+//
+// With -escrow, tenant budgets are fleet-exact instead of per-replica: the
+// ring owner of each tenant key holds the authoritative pool and every other
+// replica debits a local lease topped up over the internal /v1/escrow/lease
+// API, so concurrent admits across the whole fleet can never over-commit a
+// pool. -data-dir makes the ledger durable (periodic snapshot + append-only
+// WAL, replayed on boot) and persists the hot plan cache across restarts; a
+// booting ring member also bulk-fetches the plans it owns from its peers.
 //
 // SIGHUP re-reads the -tenants and -ring config files: tenant reloads carry
 // live ledger levels over for pools whose budget shape is unchanged and
@@ -82,6 +93,11 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated fleet base URLs (ring membership)")
 		ringPath      = flag.String("ring", "", "ring membership file (JSON {self, peers}); SIGHUP reloads it")
 		forwardTO     = flag.Duration("forward-timeout", 2*time.Second, "cross-replica forward timeout before local fallback")
+		escrow        = flag.Bool("escrow", false, "fleet-exact tenant budgets via the escrow ledger (off = per-replica approximation)")
+		dataDir       = flag.String("data-dir", "", "durability directory for the escrow snapshot+WAL and the plan-cache dump (empty = memory only)")
+		leaseTTL      = flag.Duration("escrow-lease-ttl", 15*time.Second, "escrow lease lifetime without a renewal before the owner reclaims it")
+		leaseFraction = flag.Float64("escrow-lease-fraction", 0.1, "share of a tenant's budget one replica targets for its local lease")
+		snapInterval  = flag.Duration("snapshot-interval", 30*time.Second, "how often the escrow WAL is folded into a fresh snapshot")
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 		logSample     = flag.Int("log-sample", 1, "log every Nth request line (5xx always log)")
 		debugAddr     = flag.String("debug-addr", "", "separate listener for /debug/pprof/ and /debug/traces (empty disables)")
@@ -131,28 +147,45 @@ func main() {
 			"members", len(membership.Members()))
 	}
 
+	var store *tenant.Store
+	if *dataDir != "" {
+		store, err = tenant.OpenStore(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chronosd:", err)
+			os.Exit(1)
+		}
+		st := store.State()
+		logger.Info("data dir opened", "path", *dataDir,
+			"pools", len(st.Pools), "leases", len(st.Leases))
+	}
+
 	srv := server.New(server.Config{
-		Addr:             *addr,
-		CacheCapacity:    *cacheCapacity,
-		CacheShards:      *cacheShards,
-		Workers:          *workers,
-		MaxBodyBytes:     *maxBody,
-		MaxBatchJobs:     *maxBatch,
-		MaxSimJobs:       *maxSimJobs,
-		MaxSimTasks:      *maxSimTasks,
-		MaxSimTotalTasks: *maxSimTotal,
-		MaxReplayJobs:    *maxReplay,
-		MaxActiveReplays: *maxActive,
-		ReadTimeout:      *readTimeout,
-		WriteTimeout:     *writeTimeout,
-		ShutdownGrace:    *grace,
-		Tenants:          tenants,
-		Self:             membership.Self,
-		Peers:            membership.Peers,
-		ForwardTimeout:   *forwardTO,
-		Logger:           logger,
-		LogSample:        *logSample,
-		TraceRingSize:    *traceRing,
+		Addr:                   *addr,
+		CacheCapacity:          *cacheCapacity,
+		CacheShards:            *cacheShards,
+		Workers:                *workers,
+		MaxBodyBytes:           *maxBody,
+		MaxBatchJobs:           *maxBatch,
+		MaxSimJobs:             *maxSimJobs,
+		MaxSimTasks:            *maxSimTasks,
+		MaxSimTotalTasks:       *maxSimTotal,
+		MaxReplayJobs:          *maxReplay,
+		MaxActiveReplays:       *maxActive,
+		ReadTimeout:            *readTimeout,
+		WriteTimeout:           *writeTimeout,
+		ShutdownGrace:          *grace,
+		Tenants:                tenants,
+		Self:                   membership.Self,
+		Peers:                  membership.Peers,
+		ForwardTimeout:         *forwardTO,
+		Escrow:                 *escrow,
+		Store:                  store,
+		EscrowLeaseTTL:         *leaseTTL,
+		EscrowLeaseFraction:    *leaseFraction,
+		EscrowSnapshotInterval: *snapInterval,
+		Logger:                 logger,
+		LogSample:              *logSample,
+		TraceRingSize:          *traceRing,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -220,11 +253,30 @@ func main() {
 		}()
 	}
 
+	// A replica joining a sharded fleet warms the slice of the plan
+	// keyspace it owns from its peers' caches, so a restart (or a reshard
+	// that moved keys here) starts hot instead of cold. Concurrent with
+	// serving: a plan that arrives before its warm copy is just solved once.
+	if membership.Enabled() {
+		go func() {
+			warmCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			srv.WarmFromPeers(warmCtx)
+		}()
+	}
+
 	logger.Info("listening", "addr", *addr,
-		"logLevel", level.String(), "logSample", *logSample)
+		"logLevel", level.String(), "logSample", *logSample,
+		"escrow", *escrow, "dataDir", *dataDir)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "chronosd:", err)
 		os.Exit(1)
+	}
+	// Graceful teardown: release escrow leases to their owners, compact the
+	// ledger, dump the hot plan cache, then close the WAL.
+	srv.Close()
+	if err := store.Close(); err != nil {
+		logger.Error("data dir close failed", "error", err.Error())
 	}
 	hits, misses, entries := srv.CacheStats()
 	logger.Info("stopped",

@@ -1,11 +1,13 @@
 // Example admission starts an in-process chronosd instance with two tenant
 // budget pools (loaded from the adjacent tenants.json, the same format the
-// chronosd -tenants flag reads) and plays the paper's online setting: jobs
-// arrive one at a time and POST /v1/admit answers accept/reject plus a plan
-// in one round trip, debiting each accepted plan's expected machine time
-// from the tenant's ledger. Once the pool runs dry the optimizer first
-// squeezes plans down to what the remaining budget affords, then rejects
-// with a structured reason.
+// chronosd -tenants flag reads) and plays the paper's online setting
+// through the chronos/client package: jobs arrive one at a time and
+// client.Admit answers accept/reject plus a plan in one round trip,
+// debiting each accepted plan's expected machine time from the tenant's
+// ledger. Once the pool runs dry the optimizer first squeezes plans down to
+// what the remaining budget affords, then rejects with a structured reason
+// — and tenant-routed planning rejections surface as *client.Error carrying
+// the unified envelope's code and trace ID.
 //
 // Run with:
 //
@@ -13,17 +15,16 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	_ "embed"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net"
-	"net/http"
 	"os"
 	"strings"
 
+	"chronos"
+	"chronos/client"
 	"chronos/internal/server"
 	"chronos/internal/tenant"
 )
@@ -52,28 +53,31 @@ func run() error {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
-	base := "http://" + ln.Addr().String()
-	fmt.Println("chronosd serving on", base)
 
-	job := map[string]any{
-		"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5,
-		"tauEst": 30, "tauKill": 60,
+	c := client.New("http://" + ln.Addr().String())
+	fmt.Println("chronosd serving on", c.Replicas()[0])
+
+	job := chronos.JobParams{
+		Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5,
+		TauEst: 30, TauKill: 60,
 	}
 
 	// A stream of identical deadline-critical jobs for one tenant. The
 	// econ field is omitted: the pool's defaults (theta, unitPrice, rmin)
 	// apply. Watch the ledger drain, the plans shrink, and the admissions
 	// flip to structured rejections.
-	fmt.Println("\n--- POST /v1/admit until etl-nightly is exhausted ---")
+	fmt.Println("\n--- client.Admit until etl-nightly is exhausted ---")
 	for i := 1; ; i++ {
-		body, err := post(base+"/v1/admit", map[string]any{
-			"tenant": "etl-nightly", "job": job,
-		})
+		dec, err := c.Admit(ctx, client.AdmitRequest{Tenant: "etl-nightly", Job: job})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("job %2d: %s\n", i, body)
-		if strings.Contains(body, `"admitted":false`) {
+		if dec.Admitted {
+			fmt.Printf("job %2d: admitted r=%d machineTime=%.1f budgetRemaining=%.1f\n",
+				i, dec.Plan.R, dec.Plan.MachineTime, dec.BudgetRemaining)
+		} else {
+			fmt.Printf("job %2d: rejected (%s) budgetRemaining=%.1f\n",
+				i, dec.Reason, dec.BudgetRemaining)
 			break
 		}
 		if i > 50 {
@@ -81,27 +85,33 @@ func run() error {
 		}
 	}
 
-	// The same ledger also backs tenant-routed planning: /v1/plan with a
-	// tenant field debits the pool (429 once it cannot pay).
-	fmt.Println("\n--- POST /v1/plan routed through the ad-hoc pool ---")
+	// The same ledger also backs tenant-routed planning: a plan with a
+	// tenant field debits the pool, and once it cannot pay the client
+	// surfaces the 429 envelope as a typed *client.Error.
+	fmt.Println("\n--- client.Plan routed through the ad-hoc pool ---")
 	for i := 1; i <= 3; i++ {
-		body, err := post(base+"/v1/plan", map[string]any{
-			"tenant": "ad-hoc", "job": job,
-		})
-		if err != nil {
+		plan, err := c.Plan(ctx, client.PlanRequest{Tenant: "ad-hoc", Job: job})
+		var apiErr *client.Error
+		switch {
+		case errors.As(err, &apiErr):
+			fmt.Printf("plan %d: %s code=%s traceId=%s\n",
+				i, apiErr.Message, apiErr.Code, apiErr.TraceID)
+		case err != nil:
 			return err
+		default:
+			fmt.Printf("plan %d: r=%d machineTime=%.1f budgetRemaining=%.1f\n",
+				i, plan.Plan.R, plan.Plan.MachineTime, *plan.BudgetRemaining)
 		}
-		fmt.Printf("plan %d: %s\n", i, body)
 	}
 
 	// Per-tenant observability: admits, rejects by reason, plans by
 	// strategy, and the live ledger levels.
-	fmt.Println("\n--- GET /metrics (tenant excerpt) ---")
-	body, err := get(base + "/metrics")
+	fmt.Println("\n--- client.Metrics (tenant excerpt) ---")
+	metricsText, err := c.Metrics(ctx)
 	if err != nil {
 		return err
 	}
-	for _, line := range strings.Split(body, "\n") {
+	for _, line := range strings.Split(metricsText, "\n") {
 		if strings.HasPrefix(line, "chronosd_tenant_") {
 			fmt.Println(line)
 		}
@@ -109,34 +119,4 @@ func run() error {
 
 	cancel()
 	return <-done
-}
-
-func post(url string, payload any) (string, error) {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return "", err
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimSpace(string(body)), nil
-}
-
-func get(url string) (string, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimSpace(string(body)), nil
 }

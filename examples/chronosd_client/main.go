@@ -1,8 +1,11 @@
 // Example chronosd_client starts an in-process chronosd instance and
-// drives every endpoint the way a cluster scheduler would: a single-job
-// plan (twice, showing the cache hit), a shared-budget batch, a tradeoff
-// curve, and a what-if simulation, finishing with the server's own
-// Prometheus metrics.
+// drives every endpoint through the importable chronos/client package, the
+// way a cluster scheduler would: a single-job plan (twice, showing the
+// cache hit), a shared-budget batch, a tradeoff curve, and a what-if
+// simulation, finishing with the server's own Prometheus metrics. Against a
+// sharded fleet the same code routes plan-keyed requests straight to the
+// owning replica — build the client with NewFleet and the replicas' -self
+// URLs instead of New.
 //
 // Run with:
 //
@@ -10,16 +13,14 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net"
-	"net/http"
 	"os"
 	"strings"
 
+	"chronos"
+	"chronos/client"
 	"chronos/internal/server"
 )
 
@@ -41,78 +42,87 @@ func run() error {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
-	base := "http://" + ln.Addr().String()
-	fmt.Println("chronosd serving on", base)
 
-	job := map[string]any{
-		"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5,
-		"tauEst": 30, "tauKill": 60,
+	c := client.New("http://" + ln.Addr().String())
+	fmt.Println("chronosd serving on", c.Replicas()[0])
+
+	job := chronos.JobParams{
+		Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5,
+		TauEst: 30, TauKill: 60,
 	}
-	econ := map[string]any{"theta": 1e-4, "unitPrice": 1}
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
 
 	// 1) Single-job planning — the scheduler's per-arrival hot path. The
 	// second identical request is served from the sharded plan cache.
-	fmt.Println("\n--- POST /v1/plan (cold, then cached) ---")
+	fmt.Println("\n--- client.Plan (cold, then cached) ---")
 	for i := 0; i < 2; i++ {
-		body, err := post(base+"/v1/plan", map[string]any{"job": job, "econ": econ})
+		plan, err := c.Plan(ctx, client.PlanRequest{Job: job, Econ: econ})
 		if err != nil {
 			return err
 		}
-		fmt.Println(body)
+		fmt.Printf("strategy=%v r=%d pocd=%.4f machineTime=%.1f cached=%v\n",
+			plan.Plan.Strategy, plan.Plan.R, plan.Plan.PoCD,
+			plan.Plan.MachineTime, plan.Cached)
 	}
 
 	// 2) Shared-budget batch: four concurrent jobs, one machine-time
 	// budget; strategies picked per job, then the budget split greedily.
-	fmt.Println("\n--- POST /v1/plan/batch ---")
-	batch := map[string]any{
-		"jobs": []map[string]any{
-			{"job": job},
-			{"job": job, "strategy": "clone"},
-			{"job": job, "rmin": 0.5},
-			{"job": job, "strategy": "s-resume"},
+	fmt.Println("\n--- client.PlanBatch ---")
+	batch, err := c.PlanBatch(ctx, client.BatchRequest{
+		Jobs: []client.BatchJob{
+			{Job: job},
+			{Job: job, Strategy: "clone"},
+			{Job: job, RMin: 0.5},
+			{Job: job, Strategy: "s-resume"},
 		},
-		"budget": 5000,
-		"econ":   econ,
-	}
-	body, err := post(base+"/v1/plan/batch", batch)
+		Budget: 5000,
+		Econ:   econ,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(body)
+	for i, p := range batch.Plans {
+		fmt.Printf("job %d: strategy=%v r=%d pocd=%.4f machineTime=%.1f\n",
+			i, p.Strategy, p.R, p.PoCD, p.MachineTime)
+	}
+	fmt.Printf("total machine time %.1f of budget %.1f\n",
+		batch.TotalMachineTime, batch.Budget)
 
 	// 3) The PoCD/cost frontier for Clone, r = 0..5.
-	fmt.Println("\n--- GET /v1/tradeoff ---")
-	body, err = get(base + "/v1/tradeoff?strategy=clone&tasks=10&deadline=100&tmin=10&beta=1.5&tauEst=30&tauKill=60&theta=1e-4&price=1&maxR=5")
+	fmt.Println("\n--- client.Tradeoff ---")
+	curve, err := c.Tradeoff(ctx, "clone", job, econ, 5)
 	if err != nil {
 		return err
 	}
-	fmt.Println(body)
+	for _, pt := range curve.Points {
+		fmt.Printf("r=%d pocd=%.4f cost=%.1f\n", pt.R, pt.PoCD, pt.Cost)
+	}
 
 	// 4) A bounded what-if simulation of the same job class.
-	fmt.Println("\n--- POST /v1/simulate ---")
-	sim := map[string]any{
-		"config": map[string]any{
-			"strategy": "s-resume", "seed": 7,
-			"tauEst": 40, "tauKill": 80, "tauScale": 1,
+	fmt.Println("\n--- client.Simulate ---")
+	sim, err := c.Simulate(ctx, client.SimulateRequest{
+		Config: chronos.SimConfig{
+			Strategy: chronos.SpeculativeResume, Seed: 7,
+			TauEst: 40, TauKill: 80, TauScale: 1,
 		},
-		"jobs": []map[string]any{
-			{"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5},
-			{"tasks": 10, "deadline": 100, "tmin": 10, "beta": 1.5, "arrival": 50},
+		Jobs: []chronos.SimJob{
+			{Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5},
+			{Tasks: 10, Deadline: 100, TMin: 10, Beta: 1.5, Arrival: 50},
 		},
-	}
-	body, err = post(base+"/v1/simulate", sim)
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(body)
+	fmt.Printf("jobs=%d pocd=%.3f meanMachineTime=%.1f meanCost=%.1f\n",
+		sim.Jobs, sim.PoCD, sim.MeanMachineTime, sim.MeanCost)
 
 	// 5) The serving metrics, filtered to the cache and plan counters.
-	fmt.Println("\n--- GET /metrics (excerpt) ---")
-	body, err = get(base + "/metrics")
+	fmt.Println("\n--- client.Metrics (excerpt) ---")
+	metricsText, err := c.Metrics(ctx)
 	if err != nil {
 		return err
 	}
-	for _, line := range strings.Split(body, "\n") {
+	for _, line := range strings.Split(metricsText, "\n") {
 		if strings.HasPrefix(line, "chronosd_plan") {
 			fmt.Println(line)
 		}
@@ -120,37 +130,4 @@ func run() error {
 
 	cancel()
 	return <-done
-}
-
-func post(url string, payload any) (string, error) {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return "", err
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return "", err
-	}
-	return readBody(resp)
-}
-
-func get(url string) (string, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return "", err
-	}
-	return readBody(resp)
-}
-
-func readBody(resp *http.Response) (string, error) {
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	body := strings.TrimSpace(string(raw))
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
-	}
-	return body, nil
 }

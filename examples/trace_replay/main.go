@@ -3,10 +3,11 @@
 //
 // This example mirrors the paper's Section VII-B evaluation — a
 // Google-trace-like stream of MapReduce jobs replayed under every strategy —
-// but instead of calling the in-process library it drives a live chronosd:
-// it boots the daemon on a loopback port, asks POST /v1/replay to generate
-// the trace server-side, and consumes the NDJSON event stream (job_planned,
-// job_completed, window_summary, replay_summary) as the simulation runs.
+// but instead of calling the in-process library it drives a live chronosd
+// through the chronos/client package: it boots the daemon on a loopback
+// port, asks client.Replay to generate the trace server-side, and consumes
+// the NDJSON event stream (job_planned, job_completed, window_summary,
+// replay_summary) as the simulation runs.
 //
 // Run with:
 //
@@ -14,17 +15,14 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"sort"
 
 	"chronos"
+	"chronos/client"
 	"chronos/internal/server"
 )
 
@@ -45,17 +43,18 @@ func main() {
 	srv := server.New(server.Config{})
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
-	base := "http://" + ln.Addr().String()
+	c := client.New("http://" + ln.Addr().String())
 
 	order := []chronos.Strategy{
 		chronos.HadoopNS, chronos.HadoopS, chronos.LATE, chronos.Mantri,
 		chronos.Clone, chronos.SpeculativeRestart, chronos.SpeculativeResume,
 	}
-	fmt.Printf("replaying a %d-job generated trace over POST %s/v1/replay\n\n", traceJobs, base)
+	fmt.Printf("replaying a %d-job generated trace over %s/v1/replay\n\n",
+		traceJobs, c.Replicas()[0])
 
 	results := make(map[chronos.Strategy]*chronos.ReplaySummary)
 	for _, s := range order {
-		sum, err := replayOnce(base, s)
+		sum, err := replayOnce(ctx, c, s)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,9 +88,10 @@ func main() {
 
 // replayOnce streams one strategy's replay and returns its final summary.
 // The trace is generated server-side — nothing is uploaded but the config.
-func replayOnce(base string, s chronos.Strategy) (*chronos.ReplaySummary, error) {
-	req := map[string]any{
-		"config": chronos.SimConfig{
+func replayOnce(ctx context.Context, c *client.Client, s chronos.Strategy) (*chronos.ReplaySummary, error) {
+	fmt.Printf("%v:\n", s)
+	return c.Replay(ctx, client.ReplayRequest{
+		Config: chronos.SimConfig{
 			Strategy: s,
 			Seed:     traceSeed, // common random numbers across strategies
 			Econ:     chronos.Econ{Theta: 1e-4, UnitPrice: 1},
@@ -99,52 +99,19 @@ func replayOnce(base string, s chronos.Strategy) (*chronos.ReplaySummary, error)
 			Nodes:        2048,
 			SlotsPerNode: 8,
 		},
-		"trace": map[string]any{
-			"jobs":           traceJobs,
-			"horizonSeconds": traceHorizon,
-			"deadlineRatio":  2,
-			"seed":           traceSeed,
+		Trace: &client.ReplayTrace{
+			Jobs:           traceJobs,
+			HorizonSeconds: traceHorizon,
+			DeadlineRatio:  2,
+			Seed:           traceSeed,
 		},
-		"windowSeconds": 1800,
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.Post(base+"/v1/replay", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("replay %v: HTTP %s", s, resp.Status)
-	}
-
-	fmt.Printf("%v:\n", s)
-	var summary *chronos.ReplaySummary
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var ev chronos.ReplayEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return nil, err
-		}
-		switch ev.Kind {
-		case chronos.EventWindowSummary:
+		WindowSeconds: 1800,
+	}, func(ev *chronos.ReplayEvent) error {
+		if ev.Kind == chronos.EventWindowSummary {
 			w := ev.Window
 			fmt.Printf("  t=%6.0fs  +%3d jobs  %3d/%3d done  running PoCD %.3f\n",
 				w.End, w.Completed, w.Running.Jobs, w.Running.Submitted, w.Running.PoCD)
-		case chronos.EventReplaySummary:
-			summary = ev.Summary
-		case chronos.EventError:
-			return nil, fmt.Errorf("replay %v: %s", s, ev.Error)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if summary == nil {
-		return nil, fmt.Errorf("replay %v: stream ended without a summary", s)
-	}
-	return summary, nil
+		return nil
+	})
 }

@@ -37,6 +37,10 @@ const (
 	StageSolve
 	// StageDebit is a tenant-ledger debit attempt.
 	StageDebit
+	// StageEscrow is an escrow-lease round trip to the tenant's pool owner
+	// (a synchronous top-up on the admit path, request out through response
+	// body read).
+	StageEscrow
 	// StageForward is a cross-replica forward round trip (request out
 	// through response body read).
 	StageForward
@@ -48,7 +52,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"quantize", "cache", "solve", "debit", "forward", "replay_emit",
+	"quantize", "cache", "solve", "debit", "escrow", "forward", "replay_emit",
 }
 
 // String returns the stable label used in logs, metrics, and /debug/traces.

@@ -1,0 +1,42 @@
+// Package plankey owns the canonical plan-key format: the quantized string
+// that identifies one optimization request across the whole fleet. The
+// serving layer keys its sharded plan cache and its consistent-hash ring
+// with it, and the client package hashes it locally to route requests
+// straight to the owning replica — both sides must build byte-identical
+// keys, which is why the format lives in one package instead of two.
+package plankey
+
+import (
+	"fmt"
+	"strings"
+
+	"chronos"
+)
+
+// Key builds the plan key for one optimization request. Floats are
+// quantized to six significant digits, so jobs whose parameters differ only
+// in measurement noise below that resolution share a plan — the point of
+// the plan cache: schedulers see streams of near-identical jobs (same
+// benchmark, same SLA tier) and Algorithm 1 is invariant under sub-ppm
+// perturbations. strategy is the canonical strategy component from
+// CanonicalStrategy ("" for best-of-three planning).
+func Key(strategy string, p chronos.JobParams, e chronos.Econ) string {
+	return fmt.Sprintf("%s|%d|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g",
+		strategy, p.Tasks, p.Deadline, p.TMin, p.Beta, p.TauEst, p.TauKill,
+		p.PhiEst, e.Theta, e.UnitPrice, e.RMin)
+}
+
+// CanonicalStrategy maps a request's strategy selector — empty or "best"
+// for best-of-three, otherwise a strategy name in any case — onto the key's
+// strategy component. ok is false for unparseable names.
+func CanonicalStrategy(name string) (canonical string, ok bool) {
+	name = strings.TrimSpace(name)
+	if name == "" || strings.EqualFold(name, "best") {
+		return "", true
+	}
+	s, err := chronos.ParseStrategy(name)
+	if err != nil {
+		return "", false
+	}
+	return s.String(), true
+}

@@ -1,0 +1,51 @@
+package plankey
+
+import (
+	"testing"
+
+	"chronos"
+)
+
+func TestKeyQuantizesNoise(t *testing.T) {
+	base := chronos.JobParams{Tasks: 20, Deadline: 100, TMin: 10, Beta: 1.5, TauEst: 30, TauKill: 60}
+	econ := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+	noisy := base
+	noisy.Deadline += 1e-9 // sub-ppm measurement noise
+	if Key("", base, econ) != Key("", noisy, econ) {
+		t.Fatal("sub-ppm perturbation changed the key")
+	}
+	far := base
+	far.Deadline = 101
+	if Key("", base, econ) == Key("", far, econ) {
+		t.Fatal("distinct deadlines share a key")
+	}
+}
+
+func TestKeySeparatesStrategies(t *testing.T) {
+	p := chronos.JobParams{Tasks: 5, Deadline: 50, TMin: 5, Beta: 2, TauEst: 10, TauKill: 20}
+	e := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+	if Key("", p, e) == Key(chronos.Clone.String(), p, e) {
+		t.Fatal("best-of-three and pinned Clone share a key")
+	}
+}
+
+func TestCanonicalStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"", "", true},
+		{"best", "", true},
+		{" Best ", "", true},
+		{"clone", chronos.Clone.String(), true},
+		{"s-resume", chronos.SpeculativeResume.String(), true},
+		{"warp-drive", "", false},
+	}
+	for _, c := range cases {
+		got, ok := CanonicalStrategy(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("CanonicalStrategy(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -69,13 +70,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := obs.FromContext(r.Context())
 	tr.SetTenant(req.Tenant)
-	pool, ok := s.lookupPool(w, req.Tenant)
+	pool, ok := s.lookupPool(w, r, req.Tenant)
 	if !ok {
 		return
 	}
 	strat, best, ok := keyStrategy(req.Strategy)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
 	econ := tenantEcon(req.Econ, pool)
@@ -100,19 +101,23 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 
+	// The debit target: the raw pool in the legacy per-replica mode, the
+	// escrow-aware budget (authoritative pool on the tenant owner, local
+	// lease elsewhere) when fleet-exact accounting is on.
+	bud := s.tenantBudget(r.Context(), req.Tenant, pool)
 	for attempt := 0; attempt < admitDebitRetries; attempt++ {
-		remaining := pool.Remaining()
+		remaining := bud.Remaining()
 		plan, err := s.planWithinBudget(tr, key, strat, best, req.Job, econ, remaining)
 		if err != nil {
 			if reason := rejectReason(err); reason != "" {
 				reject(reason, remaining)
 				return
 			}
-			httpError(w, planStatus(err), "%v", err)
+			apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 		dStart := time.Now()
-		ok, rem := pool.TryDebit(plan.MachineTime)
+		ok, rem := bud.TryDebit(plan.MachineTime)
 		tr.Observe(obs.StageDebit, time.Since(dStart))
 		if ok {
 			s.metrics.planServed(plan.Strategy.String())
@@ -125,7 +130,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		// A concurrent admit drained the snapshot we planned against;
 		// re-plan against the new level.
 	}
-	reject(ReasonBudgetExhausted, pool.Remaining())
+	reject(ReasonBudgetExhausted, bud.Remaining())
 }
 
 // cachedPlan returns the unconstrained optimal plan for one job,
@@ -190,14 +195,20 @@ func (s *Server) planWithinBudget(tr *obs.Trace, key string, strat chronos.Strat
 }
 
 // rejectBudget answers a tenant-routed /v1/plan or /v1/plan/batch whose
-// ledger cannot pay: 429 with the structured reason, counted per tenant.
+// ledger cannot pay: 429 with the structured reason (carried both as the
+// envelope code and the legacy reason field), counted per tenant.
 // (/v1/admit reports the same condition in its own 200 decision payload.)
-func (s *Server) rejectBudget(w http.ResponseWriter, tenantName, format string, args ...any) {
+func (s *Server) rejectBudget(w http.ResponseWriter, r *http.Request, tenantName, format string, args ...any) {
 	s.metrics.tenantReject(tenantName, ReasonBudgetExhausted)
-	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+	resp := errorResponse{
 		Error:  fmt.Sprintf(format, args...),
+		Code:   codeBudgetExhausted,
 		Reason: ReasonBudgetExhausted,
-	})
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		resp.TraceID = tr.ID
+	}
+	writeJSON(w, http.StatusTooManyRequests, resp)
 }
 
 // rejectReason maps optimization failures onto the admission-control
@@ -215,22 +226,32 @@ func rejectReason(err error) string {
 
 // lookupPool resolves a tenant name against the live registry, writing the
 // HTTP error on failure.
-func (s *Server) lookupPool(w http.ResponseWriter, name string) (*tenant.Pool, bool) {
+func (s *Server) lookupPool(w http.ResponseWriter, r *http.Request, name string) (*tenant.Pool, bool) {
 	if name == "" {
-		httpError(w, http.StatusBadRequest, "tenant is required")
+		apiError(w, r, http.StatusBadRequest, "tenant is required")
 		return nil, false
 	}
 	reg := s.tenants.Load()
 	if reg.Len() == 0 {
-		httpError(w, http.StatusNotFound, "no tenant pools configured")
+		apiError(w, r, http.StatusNotFound, "no tenant pools configured")
 		return nil, false
 	}
 	pool := reg.Get(name)
 	if pool == nil {
-		httpError(w, http.StatusNotFound, "unknown tenant %q", name)
+		apiError(w, r, http.StatusNotFound, "unknown tenant %q", name)
 		return nil, false
 	}
 	return pool, true
+}
+
+// tenantBudget picks the debit interface for one tenant-routed request: the
+// raw pool when escrow accounting is off (the legacy per-replica
+// approximation), the escrow-aware budget when it is on.
+func (s *Server) tenantBudget(ctx context.Context, name string, pool *tenant.Pool) budgeter {
+	if s.escrow == nil {
+		return pool
+	}
+	return s.escrow.budgetFor(ctx, name, pool)
 }
 
 // tenantEcon fills zero economic fields from the pool's defaults.

@@ -120,6 +120,75 @@ func BenchmarkAdmitHandler(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
 }
 
+// BenchmarkAdmitHandlerEscrow is BenchmarkAdmitHandler with fleet-exact
+// accounting on: the admit debits the escrow ledger's authoritative pool
+// (owner path — a solo replica owns every tenant) instead of the bare token
+// bucket. The delta against BenchmarkAdmitHandler is the price of exactness
+// without durability.
+func BenchmarkAdmitHandlerEscrow(b *testing.B) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"bench": {Budget: 1e18},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Tenants: reg, Escrow: true})
+	defer s.Close()
+	h := s.Handler()
+	raw, err := json.Marshal(admitRequest{Tenant: "bench", Job: testJob(), Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/admit", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
+}
+
+// BenchmarkAdmitHandlerEscrowWAL adds snapshot+WAL durability: every admit
+// appends one debit record. The delta against BenchmarkAdmitHandlerEscrow is
+// the WAL's cost on the admission path.
+func BenchmarkAdmitHandlerEscrowWAL(b *testing.B) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"bench": {Budget: 1e18},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := tenant.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	s := New(Config{Tenants: reg, Escrow: true, Store: store})
+	defer s.Close()
+	h := s.Handler()
+	raw, err := json.Marshal(admitRequest{Tenant: "bench", Job: testJob(), Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/admit", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
+}
+
 // BenchmarkBatchHandler measures a 64-job shared-budget allocation with
 // best-of-three selection fanned out across the worker pool.
 func BenchmarkBatchHandler(b *testing.B) {

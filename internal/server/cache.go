@@ -2,25 +2,20 @@ package server
 
 import (
 	"container/list"
-	"fmt"
 	"hash/fnv"
 	"strings"
 	"sync"
 
 	"chronos"
 	"chronos/internal/metrics"
+	"chronos/internal/plankey"
 )
 
-// planKey builds the cache key for one optimization request. Floats are
-// quantized to six significant digits, so jobs whose parameters differ only
-// in measurement noise below that resolution share a plan — the point of
-// the cache: schedulers see streams of near-identical jobs (same benchmark,
-// same SLA tier) and Algorithm 1 is invariant under sub-ppm perturbations.
-// strategy is empty for best-of-three planning.
+// planKey builds the cache/ring key for one optimization request. The
+// format lives in internal/plankey so the ring-aware client package builds
+// byte-identical keys and routes straight to the owning replica.
 func planKey(strategy string, p chronos.JobParams, e chronos.Econ) string {
-	return fmt.Sprintf("%s|%d|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g",
-		strategy, p.Tasks, p.Deadline, p.TMin, p.Beta, p.TauEst, p.TauKill,
-		p.PhiEst, e.Theta, e.UnitPrice, e.RMin)
+	return plankey.Key(strategy, p, e)
 }
 
 // planCache is a sharded LRU over optimized plans. Each shard has its own
@@ -156,6 +151,51 @@ func (c *planCache) stats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return c.hits.Value(), c.misses.Value()
+}
+
+// savedPlan is one persisted plan-cache entry: the disk/wire form shared by
+// the shutdown dump under -data-dir and the GET /v1/cache/owned peer-warm
+// surface.
+type savedPlan struct {
+	Key  string       `json:"key"`
+	Plan chronos.Plan `json:"plan"`
+}
+
+// dump snapshots every cached entry, per shard in recency order, for
+// persistence or peer warm-up.
+func (c *planCache) dump() []savedPlan {
+	if c == nil {
+		return nil
+	}
+	out := make([]savedPlan, 0, c.len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			out = append(out, savedPlan{Key: e.key, Plan: e.plan})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// load inserts saved entries — the boot-time warm path. Plans are a pure
+// function of their key, so overwriting a concurrently computed entry is
+// harmless.
+func (c *planCache) load(entries []savedPlan) int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if e.Key == "" {
+			continue
+		}
+		c.put(e.Key, e.Plan)
+		n++
+	}
+	return n
 }
 
 // keyStrategy resolves the optional per-request strategy selector: empty or

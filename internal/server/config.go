@@ -101,6 +101,28 @@ type Config struct {
 	// Server.SetTenants.
 	Tenants *tenant.Registry
 
+	// Escrow turns on fleet-exact tenant accounting: the ring owner of each
+	// tenant key holds the authoritative pool, every other replica debits a
+	// local lease topped up over the internal /v1/escrow/lease API. Off, the
+	// fleet runs the legacy per-replica approximation (each replica holds a
+	// full copy of every pool).
+	Escrow bool
+	// Store is the snapshot+WAL durability layer for escrow accounting and
+	// the plan-cache dump (opened from -data-dir). Nil keeps the ledger
+	// memory-only; escrow still enforces fleet-exactness, it just cannot
+	// survive an owner restart.
+	Store *tenant.Store
+	// EscrowLeaseTTL is how long a lease stays valid without a renewal
+	// before the owner reclaims its escrow. Default tenant.DefaultLeaseTTL.
+	EscrowLeaseTTL time.Duration
+	// EscrowLeaseFraction is the share of a tenant's total budget one holder
+	// targets for its local lease (top-ups ask for enough to reach it).
+	// Default 0.1.
+	EscrowLeaseFraction float64
+	// EscrowSnapshotInterval is how often the owner folds the WAL into a
+	// fresh snapshot. Default 30 s.
+	EscrowSnapshotInterval time.Duration
+
 	// ReadTimeout, WriteTimeout and IdleTimeout are the http.Server
 	// limits. Defaults 10 s / 60 s / 120 s (writes include simulation
 	// runs, hence the longer budget).
@@ -157,6 +179,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.EscrowLeaseTTL <= 0 {
+		c.EscrowLeaseTTL = tenant.DefaultLeaseTTL
+	}
+	if c.EscrowLeaseFraction <= 0 || c.EscrowLeaseFraction > 1 {
+		c.EscrowLeaseFraction = 0.1
+	}
+	if c.EscrowSnapshotInterval <= 0 {
+		c.EscrowSnapshotInterval = 30 * time.Second
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 10 * time.Second

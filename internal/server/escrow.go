@@ -1,0 +1,472 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"chronos/internal/obs"
+	"chronos/internal/tenant"
+)
+
+// Fleet-exact tenant budgets. With escrow enabled, exactly one replica — the
+// ring owner of the tenant key "tenant:<name>" — holds a tenant's
+// authoritative pool. The owner debits it directly (WAL-logged when a Store
+// is configured); every other replica debits a local lock-free Lease funded
+// by escrow grants leased from the owner over POST /v1/escrow/lease. Because
+// a grant debits the pool before the lease is funded, the budget spendable
+// anywhere in the fleet never exceeds the configured pool budget — the
+// over-commit window of the old per-replica approximation (N replicas, each
+// with a full copy of the pool) is gone by construction.
+//
+// The serving path stays lock-free: a local lease debit is one CAS. Owner
+// round trips happen only when a lease runs dry (synchronous top-up, traced
+// as the escrow stage) and in the background renew loop, which batches the
+// spent report and the next top-up into one request.
+
+// tenantKeyPrefix namespaces tenant ownership keys on the plan-key ring.
+const tenantKeyPrefix = "tenant:"
+
+// escrowPath is the internal lease API every replica serves.
+const escrowPath = "/v1/escrow/lease"
+
+// escrowLeaseRequest is the wire form of one lease call: acknowledge spent,
+// ask for want more escrow, or end the lease (release).
+type escrowLeaseRequest struct {
+	Tenant string `json:"tenant"`
+	// Holder is the requesting replica's self URL — the lease identity the
+	// owner tracks and reclaims by.
+	Holder  string  `json:"holder"`
+	Spent   float64 `json:"spent,omitempty"`
+	Want    float64 `json:"want,omitempty"`
+	Release bool    `json:"release,omitempty"`
+}
+
+type escrowLeaseResponse struct {
+	// Granted is the escrow actually debited from the pool for this lease —
+	// possibly less than want when the pool is low, zero when dry.
+	Granted float64 `json:"granted"`
+	// PoolRemaining is the owner pool's post-grant level.
+	PoolRemaining float64 `json:"poolRemaining"`
+	// TTLMillis is the lease lifetime; the holder must renew within it.
+	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// escrowManager is one replica's escrow state: the owner-side ledger for
+// tenants this replica owns, and the holder-side leases for tenants it does
+// not. Ring membership is consulted per request, so ownership follows
+// SetRing reloads without any manager-side swap.
+type escrowManager struct {
+	srv *Server
+	led *tenant.EscrowLedger
+
+	mu     sync.Mutex
+	leases map[string]*tenant.Lease // holder side, by tenant name
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newEscrowManager(s *Server, led *tenant.EscrowLedger) *escrowManager {
+	return &escrowManager{
+		srv:    s,
+		led:    led,
+		leases: make(map[string]*tenant.Lease),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// ownsTenant reports whether this replica is the tenant's pool owner (true
+// whenever sharding is off: a solo replica owns everything).
+func (m *escrowManager) ownsTenant(name string) bool {
+	owner, local := m.tenantOwner(name)
+	return local || owner == ""
+}
+
+// tenantOwner resolves the tenant's pool owner: local == true means this
+// replica (or sharding is off); otherwise owner is the peer's base URL.
+func (m *escrowManager) tenantOwner(name string) (owner string, local bool) {
+	rs := m.srv.ringSt.Load()
+	if rs == nil {
+		return "", true
+	}
+	owner, ok := rs.ring.Owner(tenantKeyPrefix + name)
+	if !ok || owner == rs.self {
+		return "", true
+	}
+	return owner, false
+}
+
+// lease returns the holder-side lease for tenant, creating it on first use.
+func (m *escrowManager) lease(name string) *tenant.Lease {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.leases[name]
+	if !ok {
+		l = &tenant.Lease{}
+		m.leases[name] = l
+	}
+	return l
+}
+
+// leaseTarget is the escrow a holder aims to keep on hand: a fraction of the
+// tenant's total budget, so N holders plus the owner cannot strand most of
+// the pool inside idle leases.
+func (m *escrowManager) leaseTarget(pool *tenant.Pool) float64 {
+	return pool.Limits().Budget * m.srv.cfg.EscrowLeaseFraction
+}
+
+// budgetFor returns the debit interface the serving path uses for one
+// tenant-routed request: the WAL-logged authoritative pool when this replica
+// owns the tenant, the local lease (with synchronous owner top-ups) when it
+// does not.
+func (m *escrowManager) budgetFor(ctx context.Context, name string, pool *tenant.Pool) budgeter {
+	owner, local := m.tenantOwner(name)
+	if local {
+		return &ownerBudget{led: m.led, name: name, pool: pool}
+	}
+	return &leaseBudget{m: m, ctx: ctx, name: name, owner: owner, pool: pool, lease: m.lease(name)}
+}
+
+// budgeter is the serving path's debit interface. Remaining is the budget a
+// plan may be squeezed into; TryDebit is the atomic admit-time deduction.
+// *tenant.Pool satisfies it (the escrow-off legacy path).
+type budgeter interface {
+	Remaining() float64
+	TryDebit(cost float64) (ok bool, remaining float64)
+}
+
+// ownerBudget debits the authoritative pool through the escrow ledger, so
+// every owner-side debit shares the WAL with grants and releases.
+type ownerBudget struct {
+	led  *tenant.EscrowLedger
+	name string
+	pool *tenant.Pool
+}
+
+func (b *ownerBudget) Remaining() float64 { return b.pool.Remaining() }
+
+func (b *ownerBudget) TryDebit(cost float64) (bool, float64) {
+	return b.led.DebitLocal(b.name, cost)
+}
+
+// leaseBudget debits the holder-side lease, topping it up synchronously from
+// the owner when it runs dry. A failed top-up (owner unreachable, pool dry)
+// fails the debit — the fleet under-admits during an owner outage, it never
+// over-commits.
+type leaseBudget struct {
+	m     *escrowManager
+	ctx   context.Context
+	name  string
+	owner string
+	pool  *tenant.Pool
+	lease *tenant.Lease
+}
+
+func (b *leaseBudget) Remaining() float64 {
+	lvl := b.lease.Level()
+	// Top up before reporting a nearly-dry lease, so the admit path squeezes
+	// plans against real fleet-wide headroom, not lease-refill timing.
+	if target := b.m.leaseTarget(b.pool); lvl < target/2 {
+		if b.m.topUp(b.ctx, b.name, b.owner, b.pool, b.lease, target-lvl) {
+			lvl = b.lease.Level()
+		}
+	}
+	return lvl
+}
+
+func (b *leaseBudget) TryDebit(cost float64) (bool, float64) {
+	if ok, rem := b.lease.TryDebit(cost); ok {
+		return true, rem
+	}
+	want := b.m.leaseTarget(b.pool)
+	if cost > want {
+		want = cost
+	}
+	if !b.m.topUp(b.ctx, b.name, b.owner, b.pool, b.lease, want) {
+		return false, b.lease.Level()
+	}
+	return b.lease.TryDebit(cost)
+}
+
+// topUp performs one synchronous lease call to the owner: report the spend
+// accumulated since the last call, ask for want more escrow, fund the lease
+// with whatever was granted. Returns false when nothing was granted (owner
+// unreachable, circuit open, or pool dry).
+func (m *escrowManager) topUp(ctx context.Context, name, owner string, pool *tenant.Pool, lease *tenant.Lease, want float64) bool {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
+	defer func() { tr.Observe(obs.StageEscrow, time.Since(start)) }()
+	resp, err := m.leaseCall(ctx, owner, escrowLeaseRequest{
+		Tenant: name,
+		Spent:  lease.TakeSpent(),
+		Want:   want,
+	}, lease)
+	if err != nil || resp.Granted <= 0 {
+		return false
+	}
+	lease.Fund(resp.Granted)
+	m.srv.metrics.escrowCount(m.srv.metrics.escrowTopups, name)
+	return true
+}
+
+// leaseCall issues one POST /v1/escrow/lease to the owner, routing through
+// the owner's circuit breaker so a dead owner costs one timeout per cooldown,
+// not one per admit. The spent amount inside req is refunded to the lease's
+// unreported accumulator on failure, so a lost report is carried by the next
+// call instead of dropped.
+func (m *escrowManager) leaseCall(ctx context.Context, owner string, req escrowLeaseRequest, lease *tenant.Lease) (escrowLeaseResponse, error) {
+	var out escrowLeaseResponse
+	refund := func() {
+		if lease != nil {
+			lease.Refund(req.Spent)
+		}
+	}
+	rs := m.srv.ringSt.Load()
+	var brk *breaker
+	if rs != nil {
+		if p := rs.peers[owner]; p != nil {
+			brk = &p.breaker
+		}
+		req.Holder = rs.self
+	}
+	if req.Holder == "" || owner == "" {
+		refund()
+		return out, errEscrowNoOwner
+	}
+	if brk != nil && !brk.allow() {
+		refund()
+		return out, errEscrowCircuitOpen
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		refund()
+		return out, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		owner+escrowPath, bytes.NewReader(body))
+	if err != nil {
+		refund()
+		return out, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if tr := obs.FromContext(ctx); tr != nil {
+		httpReq.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	httpResp, err := m.srv.forwardClient.Do(httpReq)
+	if err != nil {
+		if brk != nil {
+			brk.fail()
+		}
+		refund()
+		return out, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, maxRelayBytes))
+	if err != nil || httpResp.StatusCode != http.StatusOK {
+		// A non-200 is an answer (ownership disagreement, unknown tenant) —
+		// the peer is alive, so only transport failures charge the breaker.
+		if err != nil && brk != nil {
+			brk.fail()
+		}
+		refund()
+		if err == nil {
+			err = &escrowLeaseError{status: httpResp.StatusCode, body: strings.TrimSpace(string(raw))}
+		}
+		return out, err
+	}
+	if brk != nil {
+		brk.success()
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		refund()
+		return out, err
+	}
+	return out, nil
+}
+
+type escrowLeaseError struct {
+	status int
+	body   string
+}
+
+func (e *escrowLeaseError) Error() string {
+	return "escrow lease: owner answered " + http.StatusText(e.status) + ": " + e.body
+}
+
+var (
+	errEscrowNoOwner     = &escrowLeaseError{status: 0, body: "no resolvable owner"}
+	errEscrowCircuitOpen = &escrowLeaseError{status: 0, body: "owner circuit open"}
+)
+
+// handleEscrowLease serves POST /v1/escrow/lease: the owner side of the
+// escrow protocol. Non-owners answer 409 with code not_owner so a holder
+// racing a membership reload re-resolves instead of splitting a pool across
+// two owners.
+func (s *Server) handleEscrowLease(w http.ResponseWriter, r *http.Request) {
+	if s.escrow == nil {
+		apiError(w, r, http.StatusNotFound, "escrow accounting is not enabled")
+		return
+	}
+	var req escrowLeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tr := obs.FromContext(r.Context())
+	tr.SetTenant(req.Tenant)
+	if _, ok := s.lookupPool(w, r, req.Tenant); !ok {
+		return
+	}
+	if !s.escrow.ownsTenant(req.Tenant) {
+		writeError(w, r, http.StatusConflict, codeNotOwner,
+			"this replica does not own tenant %q", req.Tenant)
+		return
+	}
+	granted, remaining, err := s.escrow.led.Grant(
+		req.Tenant, req.Holder, req.Spent, req.Want, req.Release)
+	if err != nil {
+		apiError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if granted > 0 {
+		s.metrics.escrowCount(s.metrics.escrowGrants, req.Tenant)
+	}
+	writeJSON(w, http.StatusOK, escrowLeaseResponse{
+		Granted:       granted,
+		PoolRemaining: remaining,
+		TTLMillis:     s.escrow.led.TTL().Milliseconds(),
+	})
+}
+
+// run is the escrow background loop: holder-side lease renewal (batched
+// spent report + top-up, at a third of the TTL so two consecutive failures
+// still beat reclamation), owner-side reclamation of silent holders, and
+// periodic snapshot compaction.
+func (m *escrowManager) run() {
+	defer close(m.done)
+	renew := time.NewTicker(m.led.TTL() / 3)
+	defer renew.Stop()
+	snapshot := time.NewTicker(m.srv.cfg.EscrowSnapshotInterval)
+	defer snapshot.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-renew.C:
+			m.renewLeases()
+			m.reclaim()
+		case <-snapshot.C:
+			if err := m.led.Compact(); err != nil {
+				m.srv.logOp().Error("escrow snapshot failed", "error", err.Error())
+			}
+		}
+	}
+}
+
+// renewLeases reports spend and tops every holder-side lease back up toward
+// its target, extending its expiry at the owner.
+func (m *escrowManager) renewLeases() {
+	ctx, cancel := context.WithTimeout(context.Background(), m.srv.cfg.ForwardTimeout)
+	defer cancel()
+	reg := m.srv.tenants.Load()
+	m.mu.Lock()
+	names := make([]string, 0, len(m.leases))
+	for name := range m.leases {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	for _, name := range names {
+		pool := reg.Get(name)
+		if pool == nil {
+			continue // tenant vanished in a reload; owner reclaims by TTL
+		}
+		owner, local := m.tenantOwner(name)
+		if local {
+			continue // ownership moved here; the lease drains and is GC-noise
+		}
+		lease := m.lease(name)
+		want := m.leaseTarget(pool) - lease.Level()
+		if want < 0 {
+			want = 0
+		}
+		resp, err := m.leaseCall(ctx, owner, escrowLeaseRequest{
+			Tenant: name,
+			Spent:  lease.TakeSpent(),
+			Want:   want,
+		}, lease)
+		if err != nil {
+			continue
+		}
+		if resp.Granted > 0 {
+			lease.Fund(resp.Granted)
+			m.srv.metrics.escrowCount(m.srv.metrics.escrowTopups, name)
+		}
+	}
+}
+
+// reclaim ends owner-side leases whose holders went silent past the TTL.
+func (m *escrowManager) reclaim() {
+	for _, rec := range m.led.ReclaimExpired() {
+		m.srv.metrics.escrowCount(m.srv.metrics.escrowReclaims, rec.Tenant)
+		m.srv.logOp().Warn("escrow lease reclaimed",
+			"tenant", rec.Tenant, "holder", rec.Holder, "escrow", rec.Escrow)
+	}
+}
+
+// shutdown stops the loop and releases every holder-side lease back to its
+// owner (final spent report + credit of the unspent escrow), then compacts
+// the owner-side state into the snapshot so the next boot replays nothing.
+func (m *escrowManager) shutdown() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		<-m.done
+		ctx, cancel := context.WithTimeout(context.Background(), m.srv.cfg.ForwardTimeout)
+		defer cancel()
+		m.mu.Lock()
+		leases := make(map[string]*tenant.Lease, len(m.leases))
+		for name, l := range m.leases {
+			leases[name] = l
+		}
+		m.mu.Unlock()
+		for name, lease := range leases {
+			owner, local := m.tenantOwner(name)
+			if local {
+				continue
+			}
+			_, _ = m.leaseCall(ctx, owner, escrowLeaseRequest{
+				Tenant:  name,
+				Spent:   lease.TakeSpent(),
+				Release: true,
+			}, lease)
+		}
+		if err := m.led.Compact(); err != nil {
+			m.srv.logOp().Error("escrow final snapshot failed", "error", err.Error())
+		}
+	})
+}
+
+// escrowStats snapshots the gauge surface for /metrics: per-tenant
+// outstanding owner-side escrow and holder-side lease levels.
+func (m *escrowManager) escrowStats(reg *tenant.Registry) (outstanding map[string]float64, leaseLevels map[string]float64) {
+	outstanding = make(map[string]float64)
+	leaseLevels = make(map[string]float64)
+	for _, p := range reg.Pools() {
+		if m.ownsTenant(p.Name()) {
+			_, escrow := m.led.Outstanding(p.Name())
+			outstanding[p.Name()] = escrow
+		}
+	}
+	m.mu.Lock()
+	for name, l := range m.leases {
+		leaseLevels[name] = l.Level()
+	}
+	m.mu.Unlock()
+	return outstanding, leaseLevels
+}

@@ -1,0 +1,387 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"chronos/internal/tenant"
+)
+
+// escrowFleet boots an n-replica ring with escrow accounting on and an
+// identical single-tenant config per replica (the deployment contract), as
+// cmd/chronosd replicas sharing one tenants.json would.
+func escrowFleet(t *testing.T, n int, tenantName string, budget float64) ([]*Server, []string) {
+	t.Helper()
+	servers, listeners := newRingFleet(t, n, func(i int) Config {
+		return Config{
+			Tenants: testRegistry(t, tenantName, budget),
+			Escrow:  true,
+		}
+	})
+	urls := make([]string, n)
+	for i, ts := range listeners {
+		urls[i] = ts.URL
+	}
+	for _, s := range servers {
+		t.Cleanup(s.Close)
+	}
+	return servers, urls
+}
+
+// TestFleetEscrowNeverOverCommits is the tentpole acceptance property:
+// concurrent admits spread across every replica of a 3-replica fleet can
+// never debit more machine time, fleet-wide, than the tenant's single
+// configured budget. Run under -race this also exercises the lease CAS
+// path, the synchronous top-up, and the owner's grant lock concurrently.
+func TestFleetEscrowNeverOverCommits(t *testing.T) {
+	mt := bestPlanMachineTime(t)
+	budget := 6 * mt // room for ~6 optimal plans across the whole fleet
+	_, urls := escrowFleet(t, 3, "etl", budget)
+
+	const workers = 6
+	const perWorker = 8
+	var (
+		mu       sync.Mutex
+		admitted float64
+		admits   int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Distinct job shapes spread plan keys (and so serving
+				// replicas) across the ring; the request entry point rotates
+				// across replicas too.
+				job := testJob()
+				job.Tasks = 8 + (w*perWorker+i)%7
+				req := admitRequest{Tenant: "etl", Job: job, Econ: testEcon()}
+				raw, err := json.Marshal(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(urls[(w+i)%len(urls)]+"/v1/admit",
+					"application/json", strings.NewReader(string(raw)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("admit: status %d body %s err %v", resp.StatusCode, body, err)
+					return
+				}
+				var dec admitResponse
+				if err := json.Unmarshal(body, &dec); err != nil {
+					t.Error(err)
+					return
+				}
+				if dec.Admitted {
+					mu.Lock()
+					admitted += dec.Plan.MachineTime
+					admits++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if admits == 0 {
+		t.Fatal("no admits succeeded; escrow leasing is not granting budget")
+	}
+	if admitted > budget*(1+1e-9) {
+		t.Fatalf("fleet admitted %g machine-seconds against a %g budget: over-committed by %g",
+			admitted, budget, admitted-budget)
+	}
+	t.Logf("fleet admitted %d plans, %g of %g machine-seconds", admits, admitted, budget)
+
+	// The escrow surface is observable: some replica owns the tenant and
+	// reports outstanding escrow, and the lease/grant counters exist.
+	sawOutstanding := false
+	for _, u := range urls {
+		text := getMetricsText(t, u)
+		if strings.Contains(text, `chronosd_escrow_outstanding{tenant="etl"}`) {
+			sawOutstanding = true
+		}
+	}
+	if !sawOutstanding {
+		t.Error("no replica exposes chronosd_escrow_outstanding for the tenant")
+	}
+}
+
+// TestEscrowRestartRestoresLevels: a pool owner that dies without a
+// graceful shutdown (WAL only, no final snapshot) and one that shuts down
+// cleanly both come back with exactly the level they had — no lost and no
+// duplicated debits.
+func TestEscrowRestartRestoresLevels(t *testing.T) {
+	dir := t.TempDir()
+	mt := bestPlanMachineTime(t)
+	budget := 4 * mt
+
+	open := func() *tenant.Store {
+		st, err := tenant.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	admitOnce := func(url string, tasks int) float64 {
+		job := testJob()
+		job.Tasks = tasks
+		resp := postJSON(t, url+"/v1/admit", admitRequest{Tenant: "etl", Job: job, Econ: testEcon()})
+		dec := decodeBody[admitResponse](t, resp)
+		if !dec.Admitted {
+			t.Fatalf("admit(tasks=%d) rejected: %s", tasks, dec.Reason)
+		}
+		return dec.BudgetRemaining
+	}
+
+	// Generation 1: two debits, then a hard crash (the store is closed to
+	// flush file handles, but the server never compacts or releases).
+	store1 := open()
+	srv1, ts1 := newTestServer(t, Config{
+		Tenants: testRegistry(t, "etl", budget), Escrow: true, Store: store1,
+	})
+	admitOnce(ts1.URL, 10)
+	wantRemaining := admitOnce(ts1.URL, 11)
+	_ = srv1 // deliberately not Closed: simulates a crash
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2 boots from the anchor snapshot + WAL replay.
+	store2 := open()
+	srv2, ts2 := newTestServer(t, Config{
+		Tenants: testRegistry(t, "etl", budget), Escrow: true, Store: store2,
+	})
+	got := srv2.Tenants().Get("etl").Remaining()
+	if diff := got - wantRemaining; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("after crash restart: remaining = %g, want %g (lost or duplicated debits)", got, wantRemaining)
+	}
+
+	// Generation 2 spends more, then shuts down gracefully (final compact).
+	wantRemaining = admitOnce(ts2.URL, 12)
+	srv2.Close()
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 3 boots from the compacted snapshot alone.
+	store3 := open()
+	srv3, _ := newTestServer(t, Config{
+		Tenants: testRegistry(t, "etl", budget), Escrow: true, Store: store3,
+	})
+	defer srv3.Close()
+	got = srv3.Tenants().Get("etl").Remaining()
+	if diff := got - wantRemaining; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("after graceful restart: remaining = %g, want %g", got, wantRemaining)
+	}
+}
+
+// leaseViaHTTP drives the owner-side escrow API directly, playing a remote
+// holder.
+func leaseViaHTTP(t *testing.T, url string, req escrowLeaseRequest) escrowLeaseResponse {
+	t.Helper()
+	resp := postJSON(t, url+escrowPath, req)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("escrow lease: status %d: %s", resp.StatusCode, body)
+	}
+	return decodeBody[escrowLeaseResponse](t, resp)
+}
+
+// TestSetTenantsRebaseWithOutstandingLeases: a SIGHUP tenant reload must
+// not double-count budget that is out on lease. A same-shape reload carries
+// the ledger (level unchanged); a reshaped reload starts a fresh bucket and
+// re-debits the outstanding escrow from it.
+func TestSetTenantsRebaseWithOutstandingLeases(t *testing.T) {
+	const budget = 1000.0
+	srv, ts := newTestServer(t, Config{
+		Tenants: testRegistry(t, "etl", budget), Escrow: true,
+	})
+	defer srv.Close()
+
+	// A remote holder leases 300 machine-seconds of escrow.
+	grant := leaseViaHTTP(t, ts.URL, escrowLeaseRequest{
+		Tenant: "etl", Holder: "http://holder.example:1", Want: 300,
+	})
+	if grant.Granted != 300 {
+		t.Fatalf("granted = %g, want 300", grant.Granted)
+	}
+	if got := srv.Tenants().Get("etl").Remaining(); got != 700 {
+		t.Fatalf("post-grant remaining = %g, want 700", got)
+	}
+
+	// Same-shape reload: the pool carries its ledger, so the lease stays
+	// accounted exactly once.
+	reload1 := testRegistry(t, "etl", budget)
+	reload1.Rebase(srv.Tenants())
+	srv.SetTenants(reload1)
+	if got := srv.Tenants().Get("etl").Remaining(); got != 700 {
+		t.Fatalf("after same-shape reload: remaining = %g, want 700", got)
+	}
+
+	// Reshaped reload (budget doubled): the fresh bucket must be re-debited
+	// by the outstanding 300, not start at the full 2000.
+	reload2 := testRegistry(t, "etl", 2*budget)
+	reload2.Rebase(srv.Tenants())
+	srv.SetTenants(reload2)
+	if got := srv.Tenants().Get("etl").Remaining(); got != 1700 {
+		t.Fatalf("after reshaped reload: remaining = %g, want 1700 (leased budget double-counted?)", got)
+	}
+
+	// The holder comes back from the lease: 100 spent, 200 unspent. The
+	// release credits exactly the unspent escrow.
+	leaseViaHTTP(t, ts.URL, escrowLeaseRequest{
+		Tenant: "etl", Holder: "http://holder.example:1", Spent: 100, Release: true,
+	})
+	if got := srv.Tenants().Get("etl").Remaining(); got != 1900 {
+		t.Fatalf("after release: remaining = %g, want 1900", got)
+	}
+}
+
+// TestErrorEnvelopeUnified: every /v1 error carries the unified envelope —
+// error text, stable code, and the request's trace ID — while readers of
+// the legacy reason field still see it on budget rejections.
+func TestErrorEnvelopeUnified(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t, "etl", 1)})
+
+	cases := []struct {
+		name       string
+		do         func() *http.Response
+		wantStatus int
+		wantCode   string
+	}{
+		{
+			name: "bad json",
+			do: func() *http.Response {
+				resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   codeBadRequest,
+		},
+		{
+			name: "unknown tenant",
+			do: func() *http.Response {
+				return postJSON(t, ts.URL+"/v1/admit", admitRequest{Tenant: "nope", Job: testJob()})
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   codeNotFound,
+		},
+		{
+			name: "budget exhausted",
+			do: func() *http.Response {
+				return postJSON(t, ts.URL+"/v1/plan",
+					planRequest{Tenant: "etl", Job: testJob(), Econ: testEcon()})
+			},
+			wantStatus: http.StatusTooManyRequests,
+			wantCode:   codeBudgetExhausted,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do()
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env errorResponse
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("not an error envelope: %s", raw)
+			}
+			if env.Error == "" {
+				t.Error("envelope error text is empty")
+			}
+			if env.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", env.Code, tc.wantCode)
+			}
+			if env.TraceID == "" {
+				t.Error("envelope trace ID is empty")
+			}
+			if header := resp.Header.Get("X-Chronosd-Trace-Id"); env.TraceID != header {
+				t.Errorf("envelope trace ID %q != response header %q", env.TraceID, header)
+			}
+			// Compatibility: a pre-envelope reader that only knows the
+			// legacy reason field still sees structured budget rejections.
+			if tc.wantStatus == http.StatusTooManyRequests {
+				var legacy struct {
+					Error  string `json:"error"`
+					Reason string `json:"reason"`
+				}
+				if err := json.Unmarshal(raw, &legacy); err != nil {
+					t.Fatal(err)
+				}
+				if legacy.Reason != ReasonBudgetExhausted {
+					t.Errorf("legacy reason = %q, want %q", legacy.Reason, ReasonBudgetExhausted)
+				}
+			}
+		})
+	}
+}
+
+// TestEscrowLeaseNotOwner: a lease call that lands on a non-owner answers
+// 409/not_owner so a holder racing a membership reload re-resolves instead
+// of splitting the pool across two owners.
+func TestEscrowLeaseNotOwner(t *testing.T) {
+	servers, urls := escrowFleet(t, 2, "etl", 1000)
+	// Find the replica that does NOT own the tenant key.
+	nonOwner := -1
+	for i, s := range servers {
+		if !s.escrow.ownsTenant("etl") {
+			nonOwner = i
+		}
+	}
+	if nonOwner == -1 {
+		t.Fatal("both replicas claim tenant ownership")
+	}
+	resp := postJSON(t, urls[nonOwner]+escrowPath, escrowLeaseRequest{
+		Tenant: "etl", Holder: "http://holder.example:1", Want: 10,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	env := decodeBody[errorResponse](t, resp)
+	if env.Code != codeNotOwner {
+		t.Errorf("code = %q, want %q", env.Code, codeNotOwner)
+	}
+}
+
+// TestEscrowSoloFallsBackToOwnerPath: with sharding off, one replica owns
+// every tenant and escrow mode degrades to direct WAL-logged pool debits —
+// admission behavior is indistinguishable from legacy mode.
+func TestEscrowSoloFallsBackToOwnerPath(t *testing.T) {
+	mt := bestPlanMachineTime(t)
+	srv, ts := newTestServer(t, Config{
+		Tenants: testRegistry(t, "etl", 2*mt+1), Escrow: true,
+	})
+	defer srv.Close()
+	admits := 0
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, ts.URL+"/v1/admit", admitRequest{Tenant: "etl", Job: testJob(), Econ: testEcon()})
+		dec := decodeBody[admitResponse](t, resp)
+		if dec.Admitted {
+			admits++
+		}
+	}
+	if admits < 2 {
+		t.Fatalf("admits = %d, want >= 2 (escrow solo mode rejects affordable jobs)", admits)
+	}
+}

@@ -118,11 +118,59 @@ type simulateResponse struct {
 	RHistogram map[int]int `json:"rHistogram,omitempty"`
 }
 
+// errorResponse is the error envelope every /v1 endpoint answers with:
+// human-readable error text, a stable machine-readable code, and the
+// request's trace ID so a client-side error report can be joined to the
+// server-side logs and /debug/traces without extra plumbing.
 type errorResponse struct {
 	Error string `json:"error"`
-	// Reason carries the structured admission-control reason on
-	// tenant-ledger rejections (e.g. "budget_exhausted").
+	// Code is the stable machine-readable error class (bad_request,
+	// not_found, budget_exhausted, ...).
+	Code string `json:"code,omitempty"`
+	// TraceID is the request's trace ID (the X-Chronosd-Trace-Id value).
+	TraceID string `json:"traceId,omitempty"`
+	// Reason is the legacy alias of Code kept for pre-envelope readers; on
+	// tenant-ledger rejections it carries the structured admission-control
+	// reason (e.g. "budget_exhausted"), exactly as it always did.
 	Reason string `json:"reason,omitempty"`
+}
+
+// Stable error codes carried in errorResponse.Code.
+const (
+	codeBadRequest      = "bad_request"
+	codeNotFound        = "not_found"
+	codePayloadTooLarge = "payload_too_large"
+	codeUnprocessable   = "unprocessable"
+	codeBudgetExhausted = ReasonBudgetExhausted
+	codeUnavailable     = "unavailable"
+	codeInternal        = "internal"
+	// codeNotOwner answers an escrow lease call that landed on a replica
+	// that does not own the tenant key (membership race).
+	codeNotOwner = "not_owner"
+)
+
+// errorCodeForStatus maps an HTTP status onto the default error code; call
+// sites with a more specific class (budget_exhausted, not_owner) pass it
+// explicitly via writeError.
+func errorCodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return codePayloadTooLarge
+	case http.StatusUnprocessableEntity:
+		return codeUnprocessable
+	case http.StatusTooManyRequests:
+		return codeBudgetExhausted
+	case http.StatusServiceUnavailable:
+		return codeUnavailable
+	}
+	if status >= http.StatusInternalServerError {
+		return codeInternal
+	}
+	return codeBadRequest
 }
 
 // --- helpers --------------------------------------------------------------
@@ -133,8 +181,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the unified error envelope with an explicit code; the
+// trace ID comes from the request context (empty for untraced callers).
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	resp := errorResponse{
+		Error: fmt.Sprintf(format, args...),
+		Code:  code,
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		resp.TraceID = tr.ID
+	}
+	writeJSON(w, status, resp)
+}
+
+// apiError is writeError with the code derived from the status.
+func apiError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeError(w, r, status, errorCodeForStatus(status), format, args...)
 }
 
 // decode parses the JSON body, writing 413 for oversize bodies (the
@@ -143,11 +205,11 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			apiError(w, r, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		apiError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
 		return false
 	}
 	return true
@@ -195,13 +257,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
 	strat, best, ok := keyStrategy(req.Strategy)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
 	var pool *tenant.Pool
 	if req.Tenant != "" {
 		tr.SetTenant(req.Tenant)
-		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+		if pool, ok = s.lookupPool(w, r, req.Tenant); !ok {
 			return
 		}
 		req.Econ = tenantEcon(req.Econ, pool)
@@ -218,17 +280,18 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, cached, err := s.cachedPlanKeyed(tr, key, strat, best, req.Job, req.Econ)
 	if err != nil {
-		httpError(w, planStatus(err), "%v", err)
+		apiError(w, r, planStatus(err), "%v", err)
 		return
 	}
 	tr.SetCached(cached)
 	resp := planResponse{Plan: plan, Cached: cached}
 	if pool != nil {
+		bud := s.tenantBudget(r.Context(), req.Tenant, pool)
 		dStart := time.Now()
-		ok, rem := pool.TryDebit(plan.MachineTime)
+		ok, rem := bud.TryDebit(plan.MachineTime)
 		tr.Observe(obs.StageDebit, time.Since(dStart))
 		if !ok {
-			s.rejectBudget(w, req.Tenant,
+			s.rejectBudget(w, r, req.Tenant,
 				"tenant %q cannot cover the plan: needs %g machine-seconds, %g remaining",
 				req.Tenant, plan.MachineTime, rem)
 			return
@@ -252,11 +315,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := obs.FromContext(r.Context())
 	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, "batch has no jobs")
+		apiError(w, r, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.MaxBatchJobs {
-		httpError(w, http.StatusBadRequest,
+		apiError(w, r, http.StatusBadRequest,
 			"batch has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxBatchJobs)
 		return
 	}
@@ -264,20 +327,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Tenant != "" {
 		tr.SetTenant(req.Tenant)
 		var ok bool
-		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+		if pool, ok = s.lookupPool(w, r, req.Tenant); !ok {
 			return
 		}
 		req.Econ = tenantEcon(req.Econ, pool)
 	}
 	if pool == nil {
 		if !(req.Budget > 0) {
-			httpError(w, http.StatusBadRequest, "budget must be positive")
+			apiError(w, r, http.StatusBadRequest, "budget must be positive")
 			return
 		}
 	} else if req.Budget < 0 || math.IsNaN(req.Budget) {
 		// Only an omitted (zero) budget means "use the pool's remainder";
 		// a negative or NaN budget is malformed, not a full-pool grant.
-		httpError(w, http.StatusBadRequest,
+		apiError(w, r, http.StatusBadRequest,
 			"budget must be positive, or omitted for tenant-routed batches")
 		return
 	}
@@ -316,7 +379,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, err := range errs {
 		if err != nil {
-			httpError(w, planStatus(err), "%v", err)
+			apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 	}
@@ -339,12 +402,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		budget          float64
 		total           float64
 		budgetRemaining *float64
+		bud             budgeter
 	)
+	if pool != nil {
+		bud = s.tenantBudget(r.Context(), req.Tenant, pool)
+	}
 	for attempt := 0; ; attempt++ {
 		budget = req.Budget
 		capped := false // whether the pool, not the request, set the budget
 		if pool != nil {
-			remaining := pool.Remaining()
+			remaining := bud.Remaining()
 			if budget <= 0 || budget > remaining {
 				budget = remaining
 				capped = true
@@ -357,11 +424,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// the ledger set it; an explicit request budget below the r=0
 			// floor gets the same 422 a tenantless batch would.
 			if capped && errors.Is(err, optimize.ErrBudgetTooSmall) {
-				s.rejectBudget(w, req.Tenant,
+				s.rejectBudget(w, r, req.Tenant,
 					"tenant %q cannot cover the batch: %v", req.Tenant, err)
 				return
 			}
-			httpError(w, planStatus(err), "%v", err)
+			apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 		total = 0
@@ -379,14 +446,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			debit = budget
 		}
 		dStart := time.Now()
-		ok, rem := pool.TryDebit(debit)
+		ok, rem := bud.TryDebit(debit)
 		tr.Observe(obs.StageDebit, time.Since(dStart))
 		if ok {
 			budgetRemaining = &rem
 			break
 		}
 		if attempt+1 >= admitDebitRetries {
-			s.rejectBudget(w, req.Tenant,
+			s.rejectBudget(w, r, req.Tenant,
 				"tenant %q cannot cover the batch: needs %g machine-seconds",
 				req.Tenant, total)
 			return
@@ -420,7 +487,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	strat, err := chronos.ParseStrategy(q.Get("strategy"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var params chronos.JobParams
@@ -460,17 +527,17 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 	econ.RMin = qFloat("rmin", 0)
 	maxR := qInt("maxR", 8)
 	if parseErr != nil {
-		httpError(w, http.StatusBadRequest, "%v", parseErr)
+		apiError(w, r, http.StatusBadRequest, "%v", parseErr)
 		return
 	}
 	if maxR < 0 || maxR > s.cfg.MaxTradeoffPoints {
-		httpError(w, http.StatusBadRequest,
+		apiError(w, r, http.StatusBadRequest,
 			"maxR must be in [0, %d]", s.cfg.MaxTradeoffPoints)
 		return
 	}
 	curve, err := chronos.TradeoffCurve(strat, params, econ, maxR)
 	if err != nil {
-		httpError(w, planStatus(err), "%v", err)
+		apiError(w, r, planStatus(err), "%v", err)
 		return
 	}
 	resp := tradeoffResponse{Strategy: strat, Points: make([]tradeoffPoint, len(curve))}
@@ -499,16 +566,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, "simulation has no jobs")
+		apiError(w, r, http.StatusBadRequest, "simulation has no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.MaxSimJobs {
-		httpError(w, http.StatusBadRequest,
+		apiError(w, r, http.StatusBadRequest,
 			"simulation has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxSimJobs)
 		return
 	}
 	if msg := validateSimBounds(s.cfg, req); msg != "" {
-		httpError(w, http.StatusBadRequest, "%s", msg)
+		apiError(w, r, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	report, err := chronos.SimulateContext(r.Context(), req.Config, req.Jobs)
@@ -517,7 +584,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// Client is gone; the status code is a formality.
 			return
 		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, simulateResponse{
@@ -605,5 +672,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.cache, s.tenants.Load(), s.ringSt.Load())
+	s.metrics.writePrometheus(w, s.cache, s.tenants.Load(), s.ringSt.Load(), s.escrow)
 }

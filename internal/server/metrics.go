@@ -54,6 +54,12 @@ type serverMetrics struct {
 	// guard header and were therefore computed locally.
 	ringReceivedForwards metrics.Counter
 
+	// Escrow series: per-tenant grants issued (owner side), lease top-ups
+	// performed (holder side), and expired-lease reclamations (owner side).
+	escrowGrants   map[string]*metrics.Counter // by tenant
+	escrowTopups   map[string]*metrics.Counter // by tenant
+	escrowReclaims map[string]*metrics.Counter // by tenant
+
 	// stageSeconds histograms the per-request time spent in each hot-path
 	// stage (chronosd_stage_seconds{stage=...}); each request contributes
 	// its accumulated span per stage that fired.
@@ -116,6 +122,12 @@ func (m *serverMetrics) replayEmit(jobCompleted bool) {
 	}
 }
 
+// escrowCount increments one per-tenant escrow counter (grants, top-ups, or
+// reclaims), creating it on first use.
+func (m *serverMetrics) escrowCount(byTenant map[string]*metrics.Counter, tenant string) {
+	m.peerCounter(byTenant, tenant).Inc()
+}
+
 // tenantMetrics accumulates one tenant's admission-control counters.
 type tenantMetrics struct {
 	mu      sync.Mutex
@@ -132,12 +144,15 @@ type endpointMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	m := &serverMetrics{
-		endpoints:    make(map[string]*endpointMetrics),
-		plans:        make(map[string]*metrics.Counter),
-		tenants:      make(map[string]*tenantMetrics),
-		ringForwards: make(map[string]*metrics.Counter),
-		ringErrors:   make(map[string]*metrics.Counter),
-		start:        time.Now(),
+		endpoints:      make(map[string]*endpointMetrics),
+		plans:          make(map[string]*metrics.Counter),
+		tenants:        make(map[string]*tenantMetrics),
+		ringForwards:   make(map[string]*metrics.Counter),
+		ringErrors:     make(map[string]*metrics.Counter),
+		escrowGrants:   make(map[string]*metrics.Counter),
+		escrowTopups:   make(map[string]*metrics.Counter),
+		escrowReclaims: make(map[string]*metrics.Counter),
+		start:          time.Now(),
 	}
 	for s := range m.stageSeconds {
 		m.stageSeconds[s] = metrics.NewLatencyHistogram(stageBuckets()...)
@@ -254,26 +269,45 @@ func (m *serverMetrics) writeTenantLabeled(w io.Writer, metric, label string, te
 // writePeerLabeled renders one per-peer counter family, snapshotting the map
 // under the metrics lock before printing.
 func (m *serverMetrics) writePeerLabeled(w io.Writer, metric string, byPeer map[string]*metrics.Counter) {
+	m.writePeerLabeledAs(w, metric, "peer", byPeer)
+}
+
+// writePeerLabeledAs is writePeerLabeled with the label name chosen by the
+// caller (the escrow families key the same map shape by tenant).
+func (m *serverMetrics) writePeerLabeledAs(w io.Writer, metric, label string, byKey map[string]*metrics.Counter) {
 	m.mu.Lock()
-	peers := make([]string, 0, len(byPeer))
-	for p := range byPeer {
-		peers = append(peers, p)
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
 	}
-	sort.Strings(peers)
-	counts := make(map[string]uint64, len(peers))
-	for _, p := range peers {
-		counts[p] = byPeer[p].Value()
+	sort.Strings(keys)
+	counts := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		counts[k] = byKey[k].Value()
 	}
 	m.mu.Unlock()
-	for _, p := range peers {
-		fmt.Fprintf(w, "%s{peer=%q} %d\n", metric, p, counts[p])
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", metric, label, k, counts[k])
+	}
+}
+
+// writeTenantGauges renders one per-tenant gauge family from a snapshot map.
+func writeTenantGauges(w io.Writer, metric string, byTenant map[string]float64) {
+	names := make([]string, 0, len(byTenant))
+	for n := range byTenant {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s{tenant=%q} %g\n", metric, n, byTenant[n])
 	}
 }
 
 // writePrometheus renders every metric in the text exposition format. The
-// cache, tenant registry and ring view are passed in so their gauges reflect
-// live state (reg and rs may be nil when unconfigured).
-func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tenant.Registry, rs *ringState) {
+// cache, tenant registry, ring view, and escrow manager are passed in so
+// their gauges reflect live state (reg, rs, and esc may be nil when
+// unconfigured).
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tenant.Registry, rs *ringState, esc *escrowManager) {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.endpoints))
 	for p := range m.endpoints {
@@ -386,6 +420,25 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 	for _, p := range reg.Pools() {
 		fmt.Fprintf(w, "chronosd_tenant_budget_remaining{tenant=%q} %g\n",
 			p.Name(), p.Remaining())
+	}
+
+	if esc != nil {
+		outstanding, leaseLevels := esc.escrowStats(reg)
+		fmt.Fprintln(w, "# HELP chronosd_escrow_outstanding Machine-seconds escrowed in outstanding leases, by owned tenant.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_outstanding gauge")
+		writeTenantGauges(w, "chronosd_escrow_outstanding", outstanding)
+		fmt.Fprintln(w, "# HELP chronosd_escrow_lease_level Machine-seconds available in this replica's local leases, by tenant.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_lease_level gauge")
+		writeTenantGauges(w, "chronosd_escrow_lease_level", leaseLevels)
+		fmt.Fprintln(w, "# HELP chronosd_escrow_grants_total Escrow grants issued by this replica as pool owner, by tenant.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_grants_total counter")
+		m.writePeerLabeledAs(w, "chronosd_escrow_grants_total", "tenant", m.escrowGrants)
+		fmt.Fprintln(w, "# HELP chronosd_escrow_topups_total Lease top-ups performed by this replica as holder, by tenant.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_topups_total counter")
+		m.writePeerLabeledAs(w, "chronosd_escrow_topups_total", "tenant", m.escrowTopups)
+		fmt.Fprintln(w, "# HELP chronosd_escrow_reclaims_total Expired leases reclaimed by this replica as pool owner, by tenant.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_reclaims_total counter")
+		m.writePeerLabeledAs(w, "chronosd_escrow_reclaims_total", "tenant", m.escrowReclaims)
 	}
 
 	fmt.Fprintln(w, "# HELP chronosd_replays_total Streaming replays started over /v1/replay.")

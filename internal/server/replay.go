@@ -84,7 +84,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		msg = validateReplayBounds(s.cfg, req, jobs)
 	}
 	if msg != "" {
-		httpError(w, http.StatusBadRequest, "%s", msg)
+		apiError(w, r, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	tr := obs.FromContext(r.Context())
@@ -92,7 +92,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if req.Tenant != "" {
 		tr.SetTenant(req.Tenant)
 		var ok bool
-		if pool, ok = s.lookupPool(w, req.Tenant); !ok {
+		if pool, ok = s.lookupPool(w, r, req.Tenant); !ok {
 			return
 		}
 	}
@@ -105,7 +105,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.replaySem }()
 	default:
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable,
+		apiError(w, r, http.StatusServiceUnavailable,
 			"%d replays already running, limit %d", len(s.replaySem), cap(s.replaySem))
 		return
 	}
@@ -124,7 +124,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 
 	obs := chronos.ReplayObserverFunc(stream.write)
 	if pool != nil {
-		obs = s.debitingObserver(stream, pool, req.Tenant)
+		obs = s.debitingObserver(stream, s.tenantBudget(r.Context(), req.Tenant, pool), req.Tenant)
 	}
 	// The replay engine's memory tracks in-flight tasks; cap them with the
 	// same ceiling /v1/simulate puts on a whole run, so a trace whose jobs
@@ -139,7 +139,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		// Complete stream, or a ledger stop already reported in-band.
 	case !stream.started:
 		// Nothing streamed yet: report as a plain HTTP error.
-		httpError(w, http.StatusBadRequest, "%v", err)
+		apiError(w, r, http.StatusBadRequest, "%v", err)
 	case r.Context().Err() != nil:
 		// Client is gone; there is no one left to tell.
 	default:
@@ -266,9 +266,10 @@ func (st *ndjsonStream) write(ev *chronos.ReplayEvent) error {
 }
 
 // debitingObserver wraps the stream with per-job tenant accounting: every
-// settled job's machine time is debited from the pool, and a failed debit
-// emits a budget_exhausted event and stops the replay.
-func (s *Server) debitingObserver(st *ndjsonStream, pool *tenant.Pool, name string) chronos.ReplayObserverFunc {
+// settled job's machine time is debited from the tenant's budget (the raw
+// pool, or the escrow-aware budget when fleet-exact accounting is on), and a
+// failed debit emits a budget_exhausted event and stops the replay.
+func (s *Server) debitingObserver(st *ndjsonStream, bud budgeter, name string) chronos.ReplayObserverFunc {
 	return func(ev *chronos.ReplayEvent) error {
 		if err := st.write(ev); err != nil {
 			return err
@@ -276,7 +277,7 @@ func (s *Server) debitingObserver(st *ndjsonStream, pool *tenant.Pool, name stri
 		if ev.Kind != chronos.EventJobCompleted || ev.Outcome == nil {
 			return nil
 		}
-		ok, rem := pool.TryDebit(ev.Outcome.MachineTime)
+		ok, rem := bud.TryDebit(ev.Outcome.MachineTime)
 		if ok {
 			return nil
 		}

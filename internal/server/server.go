@@ -3,8 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +41,23 @@ type Server struct {
 	// being unused (reqLog is nil without a configured logger).
 	traces *obs.TraceRing
 	reqLog *obs.Logger
+	// escrow is the fleet-exact tenant accounting subsystem; nil when
+	// cfg.Escrow is off (the legacy per-replica approximation).
+	escrow    *escrowManager
+	closeOnce sync.Once
+}
+
+// discardLogger backs logOp when no logger is configured, so subsystem code
+// logs unconditionally without nil checks.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 128}))
+
+// logOp returns the operational (non-request) structured log target; never
+// nil.
+func (s *Server) logOp() *slog.Logger {
+	if l := s.reqLog.Op(); l != nil {
+		return l
+	}
+	return discardLogger
 }
 
 // New builds a server from cfg (zero fields take defaults). Invalid ring
@@ -63,6 +83,26 @@ func New(cfg Config) *Server {
 	if err := s.SetRing(ring.Membership{Self: cfg.Self, Peers: cfg.Peers}); err != nil {
 		panic(fmt.Sprintf("server.New: %v", err))
 	}
+	if cfg.Escrow {
+		led := tenant.NewEscrowLedger(cfg.Tenants, cfg.Store, cfg.EscrowLeaseTTL)
+		if cfg.Store != nil {
+			// Fold the recovered snapshot+WAL state into the live pools; any
+			// lease whose holder never came back is conservatively reclaimed.
+			for _, rec := range led.Restore(cfg.Store.State()) {
+				s.logOp().Warn("escrow lease reclaimed at boot",
+					"tenant", rec.Tenant, "holder", rec.Holder, "escrow", rec.Escrow)
+			}
+			// Anchor snapshot: WAL records are deltas against the latest
+			// snapshot, so the restored absolute levels must be compacted
+			// before the first post-boot append.
+			if err := led.Compact(); err != nil {
+				s.logOp().Error("escrow anchor snapshot failed", "error", err.Error())
+			}
+		}
+		s.escrow = newEscrowManager(s, led)
+		go s.escrow.run()
+	}
+	s.loadCache()
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/plan", "/v1/plan", s.handlePlan)
 	s.route("POST /v1/plan/batch", "/v1/plan/batch", s.handleBatch)
@@ -70,6 +110,8 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/tradeoff", "/v1/tradeoff", s.handleTradeoff)
 	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
 	s.route("POST /v1/replay", "/v1/replay", s.handleReplay)
+	s.route("POST "+escrowPath, escrowPath, s.handleEscrowLease)
+	s.route("GET /v1/cache/owned", "/v1/cache/owned", s.handleCacheOwned)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	// The slow-trace buffer is also reachable on the serving listener (it is
@@ -96,8 +138,28 @@ func (s *Server) Tenants() *tenant.Registry { return s.tenants.Load() }
 // Carrying live ledger levels across the swap is the caller's choice via
 // tenant.Registry.Rebase.
 func (s *Server) SetTenants(reg *tenant.Registry) {
+	old := s.tenants.Load()
 	s.tenants.Store(reg)
+	if s.escrow != nil {
+		// Rebased pools must not double-count budget already escrowed into
+		// outstanding leases: the ledger re-debits their escrow from any pool
+		// that did not carry its ledger across the swap.
+		s.escrow.led.Rebase(old, reg)
+	}
 	s.FlushCache()
+}
+
+// Close releases this replica's escrow leases back to their owners, compacts
+// the ledger into a final snapshot, and dumps the hot plan cache under the
+// data dir for the next boot's warm start. Safe to call more than once; a
+// server without escrow or a data dir closes as a no-op.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.escrow != nil {
+			s.escrow.shutdown()
+		}
+		s.saveCache()
+	})
 }
 
 // FlushCache empties the plan cache.

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"chronos/internal/obs"
+)
+
+// Plan-cache warmth across restarts. The cache is pure derived state, so it
+// needs none of the ledger's WAL ceremony — two best-effort paths rebuild it
+// after a restart instead:
+//
+//   - On Close the hot entries are dumped to <data-dir>/plancache.json and
+//     reloaded by the next boot (same replica, same disk).
+//   - A replica joining a fleet can bulk-fetch the keys it owns on the ring
+//     from every peer's cache over GET /v1/cache/owned (WarmFromPeers), so
+//     ownership that moved to it in a reshard arrives pre-solved.
+//
+// Both paths lose nothing on failure: a cold entry is re-solved on first
+// use.
+
+// cacheDumpFile sits next to the escrow snapshot under -data-dir.
+const cacheDumpFile = "plancache.json"
+
+// maxCacheWarmEntries bounds one /v1/cache/owned response so a huge cache
+// cannot make the warm call a memory event on either side.
+const maxCacheWarmEntries = 4096
+
+// cacheOwnedResponse is the GET /v1/cache/owned payload.
+type cacheOwnedResponse struct {
+	Plans []savedPlan `json:"plans"`
+}
+
+func (s *Server) cacheDumpPath() string {
+	if s.cfg.Store == nil {
+		return ""
+	}
+	return filepath.Join(s.cfg.Store.Dir(), cacheDumpFile)
+}
+
+// saveCache dumps the plan cache under the data dir (write-to-temp + rename,
+// so a crash mid-dump leaves the previous dump intact).
+func (s *Server) saveCache() {
+	path := s.cacheDumpPath()
+	if path == "" {
+		return
+	}
+	entries := s.cache.dump()
+	raw, err := json.Marshal(entries)
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		s.logOp().Error("plan cache dump failed", "error", err.Error())
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.logOp().Error("plan cache dump failed", "error", err.Error())
+		return
+	}
+	s.logOp().Info("plan cache dumped", "entries", len(entries), "path", path)
+}
+
+// loadCache warms the cache from the previous run's dump; absence is just a
+// first boot, corruption is logged and skipped (the cache re-fills itself).
+func (s *Server) loadCache() {
+	path := s.cacheDumpPath()
+	if path == "" {
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var entries []savedPlan
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		s.logOp().Warn("plan cache dump unreadable", "path", path, "error", err.Error())
+		return
+	}
+	s.logOp().Info("plan cache warmed from disk", "entries", s.cache.load(entries))
+}
+
+// handleCacheOwned serves GET /v1/cache/owned?holder=<base-url>: the cached
+// plans whose keys the named replica owns on this replica's current ring
+// view. A booting replica calls this on every peer to arrive pre-solved for
+// its keyspace share. Without a ring there is no ownership to filter by and
+// the answer is empty.
+func (s *Server) handleCacheOwned(w http.ResponseWriter, r *http.Request) {
+	holder := r.URL.Query().Get("holder")
+	if holder == "" {
+		apiError(w, r, http.StatusBadRequest, "holder query parameter is required")
+		return
+	}
+	resp := cacheOwnedResponse{Plans: []savedPlan{}}
+	if rs := s.ringSt.Load(); rs != nil {
+		for _, e := range s.cache.dump() {
+			if owner, ok := rs.ring.Owner(e.Key); ok && owner == holder {
+				resp.Plans = append(resp.Plans, e)
+				if len(resp.Plans) >= maxCacheWarmEntries {
+					break
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WarmFromPeers bulk-fetches the plans this replica owns from every peer's
+// cache. cmd/chronosd calls it once at boot, after the ring is configured
+// and before (or concurrently with) serving traffic; failures are logged
+// and skipped — a peer that cannot answer just means those keys are solved
+// on first use. Returns the number of plans loaded.
+func (s *Server) WarmFromPeers(ctx context.Context) int {
+	rs := s.ringSt.Load()
+	if rs == nil {
+		return 0
+	}
+	total := 0
+	for peer := range rs.peers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			peer+"/v1/cache/owned?holder="+url.QueryEscape(rs.self), nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(obs.TraceHeader, obs.MintID())
+		httpResp, err := s.forwardClient.Do(req)
+		if err != nil {
+			s.logOp().Warn("cache warm: peer unreachable", "peer", peer, "error", err.Error())
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(httpResp.Body, s.cfg.MaxBodyBytes*16))
+		httpResp.Body.Close()
+		if err != nil || httpResp.StatusCode != http.StatusOK {
+			s.logOp().Warn("cache warm: peer answered badly", "peer", peer, "status", httpResp.StatusCode)
+			continue
+		}
+		var resp cacheOwnedResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			continue
+		}
+		total += s.cache.load(resp.Plans)
+	}
+	if total > 0 {
+		s.logOp().Info("plan cache warmed from peers", "entries", total)
+	}
+	return total
+}

@@ -1,0 +1,329 @@
+package tenant
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store is the durability layer under one chronosd -data-dir: a point-in-time
+// snapshot of every pool level and outstanding escrow lease, plus an
+// append-only WAL of the authoritative ledger mutations since that snapshot.
+// On boot the snapshot is loaded and the WAL replayed on top, so a restarted
+// pool owner resumes with exactly the levels and leases it had — no lost and
+// no duplicated debits.
+//
+// WAL records are deltas relative to the snapshot they follow, so the owner
+// must Compact an anchor snapshot once at boot (after EscrowLedger.Restore)
+// before serving; from then on every record replays against known levels.
+// Records carry a monotonic sequence number and the snapshot remembers the
+// last sequence it folded in, so a crash between "snapshot written" and "WAL
+// truncated" replays nothing twice. WAL appends are flushed to the OS per
+// record but not fsynced: the crash window this leaves open is a handful of
+// grants, each of which errs toward *under*-counting pool spend never being
+// restored as extra budget (grants debit the pool before they are logged, so
+// a lost record surfaces as a reclaimable lease, not free budget).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *os.File
+	w    *bufio.Writer
+	seq  uint64
+	snap Snapshot // state as recovered at OpenStore time
+}
+
+// Op names one WAL record type.
+type Op string
+
+const (
+	// OpDebit is an authoritative local debit against a pool (an admit or
+	// plan served by the pool owner itself).
+	OpDebit Op = "debit"
+	// OpCredit returns budget to a pool (a released lease's unspent escrow).
+	OpCredit Op = "credit"
+	// OpGrant escrows budget from a pool into a holder's lease.
+	OpGrant Op = "grant"
+	// OpSpent acknowledges a holder's report of lease budget spent; the pool
+	// level is unchanged (the grant already debited it), only the
+	// outstanding escrow shrinks.
+	OpSpent Op = "spent"
+	// OpRelease ends a lease, crediting its unspent escrow back to the pool.
+	OpRelease Op = "release"
+	// OpReclaim ends a lease whose holder went silent past its TTL. The
+	// outstanding escrow is conservatively treated as spent (no credit), so
+	// an untracked holder can never cause fleet-wide over-commit.
+	OpReclaim Op = "reclaim"
+)
+
+// Record is one WAL entry.
+type Record struct {
+	Seq    uint64  `json:"seq"`
+	Op     Op      `json:"op"`
+	Tenant string  `json:"tenant"`
+	Holder string  `json:"holder,omitempty"`
+	Amount float64 `json:"amount,omitempty"`
+	// ExpiryUnixNano is the lease expiry for OpGrant records.
+	ExpiryUnixNano int64 `json:"expiry,omitempty"`
+}
+
+// LeaseRecord is one outstanding lease in a snapshot.
+type LeaseRecord struct {
+	Tenant string  `json:"tenant"`
+	Holder string  `json:"holder"`
+	Escrow float64 `json:"escrow"`
+	// ExpiryUnixNano is when the lease lapses if not renewed.
+	ExpiryUnixNano int64 `json:"expiry"`
+}
+
+// Snapshot is the durable point-in-time ledger state.
+type Snapshot struct {
+	// Seq is the last WAL sequence folded into this snapshot; replay skips
+	// records at or below it.
+	Seq uint64 `json:"seq"`
+	// AtUnixNano stamps when the snapshot was taken.
+	AtUnixNano int64 `json:"at"`
+	// Pools maps tenant name to ledger level.
+	Pools map[string]float64 `json:"pools"`
+	// Leases are the outstanding escrow grants.
+	Leases []LeaseRecord `json:"leases,omitempty"`
+}
+
+const (
+	snapshotFile = "escrow-snapshot.json"
+	walFile      = "escrow-wal.ndjson"
+)
+
+// OpenStore opens (creating if needed) the durability directory, recovers the
+// snapshot+WAL state, and leaves the WAL open for appends. The recovered
+// state is available via State until the next Compact.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tenant: data dir: %w", err)
+	}
+	s := &Store{dir: dir}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: wal: %w", err)
+	}
+	s.wal = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// Dir returns the durability directory (the serving layer derives sibling
+// files, e.g. the plan-cache dump, from it).
+func (s *Store) Dir() string { return s.dir }
+
+// State returns the ledger state recovered at open: pool levels and
+// outstanding leases with WAL replay already applied.
+func (s *Store) State() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// recover loads the snapshot file and folds the WAL into it.
+func (s *Store) recover() error {
+	snap := Snapshot{Pools: map[string]float64{}}
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("tenant: snapshot %s: %w", snapshotFile, err)
+		}
+		if snap.Pools == nil {
+			snap.Pools = map[string]float64{}
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First boot: empty state.
+	default:
+		return fmt.Errorf("tenant: snapshot: %w", err)
+	}
+	s.seq = snap.Seq
+
+	walPath := filepath.Join(s.dir, walFile)
+	f, err := os.Open(walPath)
+	if errors.Is(err, os.ErrNotExist) {
+		s.snap = snap
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tenant: wal: %w", err)
+	}
+	defer f.Close()
+	leases := leaseIndex(snap.Leases)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final append from a crash; everything before it is
+			// intact, so stop here rather than failing the boot.
+			break
+		}
+		if rec.Seq <= snap.Seq {
+			continue // already folded into the snapshot
+		}
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		applyRecord(&snap, leases, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("tenant: wal replay: %w", err)
+	}
+	snap.Leases = flattenLeases(leases)
+	s.snap = snap
+	return nil
+}
+
+// leaseKey indexes a lease by tenant and holder.
+type leaseKey struct{ tenant, holder string }
+
+func leaseIndex(recs []LeaseRecord) map[leaseKey]*LeaseRecord {
+	idx := make(map[leaseKey]*LeaseRecord, len(recs))
+	for i := range recs {
+		r := recs[i]
+		idx[leaseKey{r.Tenant, r.Holder}] = &r
+	}
+	return idx
+}
+
+func flattenLeases(idx map[leaseKey]*LeaseRecord) []LeaseRecord {
+	out := make([]LeaseRecord, 0, len(idx))
+	for _, r := range idx {
+		if r.Escrow > 0 {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// applyRecord folds one WAL record into the in-memory snapshot state. Pool
+// levels here are raw numbers; clamping to [0, budget] happens when the
+// state is loaded into a live Registry (whose config may have changed since
+// the record was written).
+func applyRecord(snap *Snapshot, leases map[leaseKey]*LeaseRecord, rec Record) {
+	switch rec.Op {
+	case OpDebit, OpGrant:
+		snap.Pools[rec.Tenant] -= rec.Amount
+		if snap.Pools[rec.Tenant] < 0 {
+			snap.Pools[rec.Tenant] = 0
+		}
+		if rec.Op == OpGrant {
+			k := leaseKey{rec.Tenant, rec.Holder}
+			l := leases[k]
+			if l == nil {
+				l = &LeaseRecord{Tenant: rec.Tenant, Holder: rec.Holder}
+				leases[k] = l
+			}
+			l.Escrow += rec.Amount
+			l.ExpiryUnixNano = rec.ExpiryUnixNano
+		}
+	case OpCredit:
+		snap.Pools[rec.Tenant] += rec.Amount
+	case OpSpent:
+		if l := leases[leaseKey{rec.Tenant, rec.Holder}]; l != nil {
+			l.Escrow -= rec.Amount
+			if l.Escrow < 0 {
+				l.Escrow = 0
+			}
+		}
+	case OpRelease:
+		// The credited remainder is its own OpCredit record; here only the
+		// lease ends.
+		delete(leases, leaseKey{rec.Tenant, rec.Holder})
+	case OpReclaim:
+		delete(leases, leaseKey{rec.Tenant, rec.Holder})
+	}
+}
+
+// Append writes one record to the WAL, assigning its sequence number.
+func (s *Store) Append(rec Record) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	rec.Seq = s.seq
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Compact writes a fresh snapshot of the given state and truncates the WAL.
+// The snapshot lands via write-to-temp + rename, so a crash mid-compaction
+// leaves either the old snapshot (plus the intact WAL) or the new one; the
+// stored sequence number makes leftover WAL records idempotent.
+func (s *Store) Compact(pools map[string]float64, leases []LeaseRecord) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Seq:        s.seq,
+		AtUnixNano: time.Now().UnixNano(),
+		Pools:      pools,
+		Leases:     leases,
+	}
+	raw, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	s.w.Reset(s.wal)
+	return nil
+}
+
+// Close flushes and closes the WAL. The caller should Compact first on a
+// graceful shutdown so boot does not replay the whole log.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}

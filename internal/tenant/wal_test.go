@@ -1,0 +1,183 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStoreRoundTripThroughWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 100}})
+	e := NewEscrowLedger(reg, st, time.Hour)
+	if err := e.Compact(); err != nil { // anchor snapshot, as boot does
+		t.Fatal(err)
+	}
+	if ok, _ := e.DebitLocal("etl", 10); !ok {
+		t.Fatal("debit failed")
+	}
+	if g, _, _ := e.Grant("etl", "h1", 0, 30, false); g != 30 {
+		t.Fatal("grant failed")
+	}
+	if _, _, err := e.Grant("etl", "h1", 5, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: replay the WAL (no snapshot was ever compacted).
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	state := st2.State()
+	if got := state.Pools["etl"]; got != 60 {
+		t.Errorf("replayed pool level = %v, want 60 (100 - 10 debit - 30 grant)", got)
+	}
+	if len(state.Leases) != 1 || state.Leases[0].Escrow != 25 {
+		t.Errorf("replayed leases = %+v, want one h1 lease with escrow 25", state.Leases)
+	}
+}
+
+func TestStoreSnapshotPlusTailReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 100}})
+	e := NewEscrowLedger(reg, st, time.Hour)
+	_, _, _ = e.Grant("etl", "h1", 0, 30, false)
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot mutations land in the (now truncated) WAL.
+	if ok, _ := e.DebitLocal("etl", 7); !ok {
+		t.Fatal("debit failed")
+	}
+	_, _, _ = e.Grant("etl", "h1", 30, 0, true) // spend everything, release
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	state := st2.State()
+	if got := state.Pools["etl"]; got != 63 {
+		t.Errorf("recovered level = %v, want 63 (70 snapshot - 7 debit; release returned 0)", got)
+	}
+	if len(state.Leases) != 0 {
+		t.Errorf("released lease survived recovery: %+v", state.Leases)
+	}
+}
+
+// TestStoreDuplicateReplayImpossible simulates the crash window between
+// snapshot rename and WAL truncation: records already folded into the
+// snapshot must not be applied twice.
+func TestStoreDuplicateReplayImpossible(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 100}})
+	e := NewEscrowLedger(reg, st, time.Hour)
+	if ok, _ := e.DebitLocal("etl", 40); !ok {
+		t.Fatal("debit failed")
+	}
+	// Snapshot the state but "crash" before truncation: rewrite the WAL
+	// with its pre-compaction contents.
+	walPath := filepath.Join(dir, walFile)
+	pre, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.State().Pools["etl"]; got != 60 {
+		t.Errorf("level after duplicate-replay crash = %v, want 60 (debit applied once)", got)
+	}
+}
+
+func TestStoreTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 100}})
+	e := NewEscrowLedger(reg, st, time.Hour)
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.DebitLocal("etl", 10)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn final append: half a JSON object with no newline.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"op":"debit","ten`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("torn WAL tail should not fail boot: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.State().Pools["etl"]; got != 90 {
+		t.Errorf("level = %v, want 90 (intact prefix applied, torn tail dropped)", got)
+	}
+}
+
+func TestStoreSequencesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Append(Record{Op: OpDebit, Tenant: "etl", Amount: 1})
+	_ = st.Append(Record{Op: OpDebit, Tenant: "etl", Amount: 1})
+	st.Close()
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st2.Append(Record{Op: OpDebit, Tenant: "etl", Amount: 1})
+	st2.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"seq":3`) {
+		t.Errorf("reopened store did not continue the sequence:\n%s", raw)
+	}
+}

@@ -10,9 +10,10 @@
 #                                             than BENCH_TOLERANCE_PCT (10%)
 #                                             versus the committed baseline
 #
-# The four tracked numbers: cached /v1/plan (the hot path), cold /v1/plan
-# (full three-strategy solve), /v1/admit (plan + ledger debit), and replay
-# engine throughput in jobs/sec. Each benchmark runs -count times and the
+# The tracked numbers: cached /v1/plan (the hot path), cold /v1/plan (full
+# three-strategy solve), /v1/admit (plan + ledger debit), escrowed /v1/admit
+# with and without WAL durability (the price of fleet-exact budgets), and
+# replay engine throughput in jobs/sec. Each benchmark runs -count times and the
 # best (minimum ns/op, maximum rate) is kept: best-of-N is the standard way
 # to cut scheduler noise out of regression gates.
 #
@@ -30,15 +31,17 @@ run_bench() {
   go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" "$1"
 }
 
-# min_ns <raw> <bench-name> -> minimum ns/op across runs
+# min_ns <raw> <bench-name> -> minimum ns/op across runs. The name matches
+# exactly, modulo go test's optional -GOMAXPROCS suffix, so AdmitHandler
+# never swallows AdmitHandlerEscrow's rows.
 min_ns() {
-  awk -v name="$2" '$1 ~ "^"name {print $3}' <<<"$1" | sort -n | head -1
+  awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {print $3}' <<<"$1" | sort -n | head -1
 }
 
 # max_metric <raw> <bench-name> <unit> -> maximum custom metric across runs
 max_metric() {
   awk -v name="$2" -v unit="$3" '
-    $1 ~ "^"name { for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i }
+    $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i }
   ' <<<"$1" | sort -rn | head -1
 }
 
@@ -70,7 +73,7 @@ fi
 
 out="${1:-bench.json}"
 echo "== serving benchmarks (count=$COUNT, benchtime=$BENCHTIME) =="
-server_raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkPlanHandlerCold$|BenchmarkAdmitHandler$')"
+server_raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkPlanHandlerCold$|BenchmarkAdmitHandler$|BenchmarkAdmitHandlerEscrow$|BenchmarkAdmitHandlerEscrowWAL$')"
 echo "$server_raw"
 replay_raw="$(run_bench ./internal/replay/ 'BenchmarkReplayThroughput$')"
 echo "$replay_raw"
@@ -81,9 +84,13 @@ cold_ns="$(min_ns "$server_raw" BenchmarkPlanHandlerCold)"
 cold_rate="$(max_metric "$server_raw" BenchmarkPlanHandlerCold plans/s)"
 admit_ns="$(min_ns "$server_raw" BenchmarkAdmitHandler)"
 admit_rate="$(max_metric "$server_raw" BenchmarkAdmitHandler admits/s)"
+escrow_ns="$(min_ns "$server_raw" BenchmarkAdmitHandlerEscrow)"
+escrow_rate="$(max_metric "$server_raw" BenchmarkAdmitHandlerEscrow admits/s)"
+escrow_wal_ns="$(min_ns "$server_raw" BenchmarkAdmitHandlerEscrowWAL)"
+escrow_wal_rate="$(max_metric "$server_raw" BenchmarkAdmitHandlerEscrowWAL admits/s)"
 replay_jobs="$(max_metric "$replay_raw" BenchmarkReplayThroughput jobs/sec)"
 
-for v in "$cached_ns" "$cold_ns" "$admit_ns" "$replay_jobs"; do
+for v in "$cached_ns" "$cold_ns" "$admit_ns" "$escrow_ns" "$escrow_wal_ns" "$replay_jobs"; do
   [ -n "$v" ] || { echo "FAIL: missing benchmark result"; exit 1; }
 done
 
@@ -99,6 +106,8 @@ cat > "$out" <<EOF
     "plan_cached": {"ns_per_op": $cached_ns, "plans_per_sec": ${cached_rate:-0}},
     "plan_cold": {"ns_per_op": $cold_ns, "plans_per_sec": ${cold_rate:-0}},
     "admit": {"ns_per_op": $admit_ns, "admits_per_sec": ${admit_rate:-0}},
+    "admit_escrow": {"ns_per_op": $escrow_ns, "admits_per_sec": ${escrow_rate:-0}},
+    "admit_escrow_wal": {"ns_per_op": $escrow_wal_ns, "admits_per_sec": ${escrow_wal_rate:-0}},
     "replay": {"jobs_per_sec": $replay_jobs}
   }
 }

@@ -5,8 +5,11 @@
 # because both forward the key to its single owning replica. It then sends a
 # request with a caller-chosen X-Chronosd-Trace-Id through a non-owning
 # replica and greps that ID out of BOTH replicas' structured logs — the
-# out-of-process proof that one trace ID spans a forward hop. Also used as
-# the CI smoke step for the ring serving path (make ring-demo).
+# out-of-process proof that one trace ID spans a forward hop. Finally it
+# exercises the escrow failure path: it plants a lease at the tenant's pool
+# owner, SIGKILLs that owner mid-run, restarts it from its data dir, and
+# asserts the boot-time lease reclamation in the structured logs. Also used
+# as the CI smoke step for the ring serving path (make ring-demo).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,30 +25,48 @@ for p in "${PORTS[@]}"; do
 done
 
 LOG_DIR="$(mktemp -d)"
-PIDS=()
+DATA_DIR="$(mktemp -d)"
+TENANTS="$LOG_DIR/tenants.json"
+cat > "$TENANTS" <<'EOF'
+{"tenants": [{"name": "demo", "budget": 100000, "theta": 0.0001, "unitPrice": 1}]}
+EOF
+declare -A PID_OF
 cleanup() {
-  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for p in "${!PID_OF[@]}"; do kill "${PID_OF[$p]}" 2>/dev/null || true; done
   wait 2>/dev/null || true
-  rm -rf "$(dirname "$BIN")" "$LOG_DIR"
+  rm -rf "$(dirname "$BIN")" "$LOG_DIR" "$DATA_DIR"
 }
 trap cleanup EXIT
+
+# start_replica <port> <logfile>: one escrow-enabled ring member with a
+# per-port durable data dir. The short lease TTL keeps the reclamation
+# demonstration below fast.
+start_replica() {
+  local p="$1" log="$2"
+  "$BIN" -addr "127.0.0.1:$p" -self "http://127.0.0.1:$p" -peers "$PEERS" \
+    -tenants "$TENANTS" -escrow -data-dir "$DATA_DIR/$p" \
+    -escrow-lease-ttl 2s 2>"$log" &
+  PID_OF[$p]=$!
+}
+
+wait_healthy() {
+  local p="$1"
+  for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$p/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "FAIL: replica on port $p never became healthy"
+  exit 1
+}
 
 # Each replica's structured JSON logs go to a per-port file so the trace
 # propagation check below can grep a specific replica's view of a request.
 echo "== starting 3 replicas (ring: $PEERS; logs in $LOG_DIR) =="
 for p in "${PORTS[@]}"; do
-  "$BIN" -addr "127.0.0.1:$p" -self "http://127.0.0.1:$p" -peers "$PEERS" \
-    2>"$LOG_DIR/$p.log" &
-  PIDS+=($!)
+  start_replica "$p" "$LOG_DIR/$p.log"
 done
-
 for p in "${PORTS[@]}"; do
-  for _ in $(seq 1 50); do
-    curl -sf "http://127.0.0.1:$p/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-  done
-  curl -sf "http://127.0.0.1:$p/healthz" >/dev/null \
-    || { echo "FAIL: replica on port $p never became healthy"; exit 1; }
+  wait_healthy "$p"
 done
 
 BODY='{"job":{"tasks":100,"deadline":3600,"tmin":40,"beta":1.6,"tauEst":300,"tauKill":600},"econ":{"theta":0.0001,"unitPrice":1}}'
@@ -114,3 +135,61 @@ grep "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$ENTRY_PORT.log" | grep -q '"forward"
 echo
 echo "OK: cross-replica cache hit — planned via A, hit via B, owned by $OWNER"
 echo "OK: trace $TRACE_ID spans the forward hop ($ENTRY -> $OWNER)"
+
+# --- escrow: kill the pool owner, assert lease reclamation -----------------
+# Real admits flow through the fleet (non-owners of the tenant key lease
+# escrow from the pool owner), then a deterministic lease is planted via the
+# internal escrow API: the replica that answers 200 is the pool owner; the
+# others answer 409/not_owner. The owner is then SIGKILLed mid-run — no
+# graceful release, no final snapshot — and restarted from its data dir
+# after the lease TTL. Boot replays the snapshot+WAL, finds the expired
+# lease, and conservatively reclaims it: the log line is the proof.
+echo
+echo "== escrow: admits across the fleet (tenant 'demo') =="
+for i in 1 2 3 4 5 6; do
+  port="${PORTS[$((i % 3))]}"
+  ADMIT_BODY="{\"tenant\":\"demo\",\"job\":{\"tasks\":$((90 + i)),\"deadline\":3600,\"tmin\":40,\"beta\":1.6,\"tauEst\":300,\"tauKill\":600}}"
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$ADMIT_BODY" \
+    "http://127.0.0.1:$port/v1/admit" | grep -q '"admitted":true' \
+    || { echo "FAIL: admit $i via :$port rejected"; exit 1; }
+done
+
+LEASE_BODY='{"tenant":"demo","holder":"http://ring-demo-holder.invalid:1","want":500}'
+POOL_OWNER_PORT=""
+for p in "${PORTS[@]}"; do
+  code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$LEASE_BODY" \
+    "http://127.0.0.1:$p/v1/escrow/lease")"
+  [ "$code" = "200" ] && POOL_OWNER_PORT="$p"
+done
+[ -n "$POOL_OWNER_PORT" ] \
+  || { echo "FAIL: no replica granted the escrow lease (no pool owner?)"; exit 1; }
+echo "   pool owner for tenant 'demo': 127.0.0.1:$POOL_OWNER_PORT"
+
+echo "== SIGKILL the pool owner (:$POOL_OWNER_PORT), wait out the 2s lease TTL =="
+kill -9 "${PID_OF[$POOL_OWNER_PORT]}"
+unset "PID_OF[$POOL_OWNER_PORT]"
+sleep 3
+
+echo "== restarting the owner from $DATA_DIR/$POOL_OWNER_PORT =="
+start_replica "$POOL_OWNER_PORT" "$LOG_DIR/$POOL_OWNER_PORT.restart.log"
+wait_healthy "$POOL_OWNER_PORT"
+
+for _ in $(seq 1 20); do
+  grep -q 'escrow lease reclaimed at boot' "$LOG_DIR/$POOL_OWNER_PORT.restart.log" && break
+  sleep 0.1
+done
+grep -q 'escrow lease reclaimed at boot' "$LOG_DIR/$POOL_OWNER_PORT.restart.log" \
+  || { echo "FAIL: restarted owner never reclaimed the orphaned lease"; exit 1; }
+echo "   reclaimed:"
+grep 'escrow lease reclaimed at boot' "$LOG_DIR/$POOL_OWNER_PORT.restart.log" \
+  | head -3 | sed 's/^/     /'
+
+# The restarted owner's pool must reflect the pre-crash debits (level came
+# back from snapshot+WAL, not from the config default).
+LEVEL="$(curl -sf "http://127.0.0.1:$POOL_OWNER_PORT/metrics" \
+  | awk '$1 == "chronosd_tenant_budget_remaining{tenant=\"demo\"}" {print $2}')"
+echo "   restored pool level: ${LEVEL:-?} / 100000 machine-seconds"
+
+echo
+echo "OK: owner crash + restart reclaimed the orphaned escrow lease from the WAL"
