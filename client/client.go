@@ -60,9 +60,14 @@ func WithVirtualNodes(n int) Option {
 }
 
 // New returns a client for a single chronosd instance at baseURL (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080"). It panics if baseURL is empty or whitespace —
+// a construction-time configuration bug; use NewFleet to handle the error
+// instead.
 func New(baseURL string, opts ...Option) *Client {
-	c, _ := NewFleet([]string{baseURL}, opts...)
+	c, err := NewFleet([]string{baseURL}, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("client.New(%q): %v", baseURL, err))
+	}
 	return c
 }
 

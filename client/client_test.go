@@ -153,3 +153,12 @@ func TestClientAdmitAndBatch(t *testing.T) {
 		t.Errorf("allocation %g exceeds budget %g", batch.TotalMachineTime, batch.Budget)
 	}
 }
+
+func TestNewPanicsOnEmptyURL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal(`New("   ") returned instead of panicking`)
+		}
+	}()
+	_ = New("   ")
+}

@@ -355,6 +355,7 @@ func (m *escrowManager) run() {
 	defer renew.Stop()
 	snapshot := time.NewTicker(m.srv.cfg.EscrowSnapshotInterval)
 	defer snapshot.Stop()
+	var walFailsSeen uint64
 	for {
 		select {
 		case <-m.stop:
@@ -362,6 +363,14 @@ func (m *escrowManager) run() {
 		case <-renew.C:
 			m.renewLeases()
 			m.reclaim()
+			// A failed WAL append cannot be rolled back (the ledger mutated
+			// before it logged), so silent loss is the one unacceptable
+			// outcome: latch-check here and shout.
+			if fails, lastErr := m.led.WALFailures(); fails > walFailsSeen {
+				walFailsSeen = fails
+				m.srv.logOp().Error("escrow WAL appends failing; a restart would restore stale budget levels",
+					"failures", fails, "error", lastErr.Error())
+			}
 		case <-snapshot.C:
 			if err := m.led.Compact(); err != nil {
 				m.srv.logOp().Error("escrow snapshot failed", "error", err.Error())

@@ -439,6 +439,10 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 		fmt.Fprintln(w, "# HELP chronosd_escrow_reclaims_total Expired leases reclaimed by this replica as pool owner, by tenant.")
 		fmt.Fprintln(w, "# TYPE chronosd_escrow_reclaims_total counter")
 		m.writePeerLabeledAs(w, "chronosd_escrow_reclaims_total", "tenant", m.escrowReclaims)
+		walFails, _ := esc.led.WALFailures()
+		fmt.Fprintln(w, "# HELP chronosd_escrow_wal_append_failures_total Ledger records the WAL failed to persist; nonzero means recovery after a restart would resurrect spent budget.")
+		fmt.Fprintln(w, "# TYPE chronosd_escrow_wal_append_failures_total counter")
+		fmt.Fprintf(w, "chronosd_escrow_wal_append_failures_total %d\n", walFails)
 	}
 
 	fmt.Fprintln(w, "# HELP chronosd_replays_total Streaming replays started over /v1/replay.")

@@ -34,6 +34,13 @@ const DefaultLeaseTTL = 15 * time.Second
 
 // EscrowLedger is the owner-side escrow state for every tenant this replica
 // is authoritative for. All methods are safe for concurrent use.
+//
+// Locking: every ledger mutation appends its WAL record while still holding
+// e.mu, and Compact holds e.mu across both the state capture and the store
+// write. That single ordering (e.mu, then the store's own lock) is what makes
+// recovery bit-exact: no record can slip between "folded into the snapshot"
+// and "survives in the truncated WAL", so boot replay applies each mutation
+// exactly once.
 type EscrowLedger struct {
 	mu     sync.Mutex
 	reg    *Registry
@@ -85,10 +92,13 @@ func (e *EscrowLedger) DebitLocal(tenant string, cost float64) (ok bool, remaini
 		return false, 0
 	}
 	ok, remaining = p.TryDebit(cost)
-	e.mu.Unlock()
 	if ok && cost > 0 {
+		// Under e.mu, like every other ledger append: a concurrent Compact
+		// must never snapshot the post-debit level and then leave this record
+		// alive in the WAL (boot would apply the debit twice).
 		_ = e.store.Append(Record{Op: OpDebit, Tenant: tenant, Amount: cost})
 	}
+	e.mu.Unlock()
 	return ok, remaining
 }
 
@@ -149,6 +159,14 @@ func (e *EscrowLedger) Grant(tenant, holder string, spent, want float64, release
 		_ = e.store.Append(Record{
 			Op: OpGrant, Tenant: tenant, Holder: holder,
 			Amount: granted, ExpiryUnixNano: g.expiry.UnixNano(),
+		})
+	} else if g.escrow > 0 {
+		// A renewal against a dry pool still extends the lease in memory; it
+		// must extend it on disk too, or a restarted owner restores the lease
+		// with a stale expiry and reclaims escrow the live holder is spending.
+		_ = e.store.Append(Record{
+			Op: OpRenew, Tenant: tenant, Holder: holder,
+			ExpiryUnixNano: g.expiry.UnixNano(),
 		})
 	}
 	return granted, poolRemaining, nil
@@ -227,11 +245,18 @@ func (e *EscrowLedger) Restore(state Snapshot) []Reclaimed {
 	return e.ReclaimExpired()
 }
 
-// SnapshotState captures the current pool levels and outstanding leases for
-// a Store.Compact.
+// SnapshotState captures the current pool levels and outstanding leases.
+// For durability use Compact, which captures the state and writes the
+// snapshot under one hold of the ledger lock; this accessor is for
+// inspection only.
 func (e *EscrowLedger) SnapshotState() (pools map[string]float64, leases []LeaseRecord) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+// snapshotLocked is SnapshotState's body; the caller holds e.mu.
+func (e *EscrowLedger) snapshotLocked() (pools map[string]float64, leases []LeaseRecord) {
 	pools = make(map[string]float64, e.reg.Len())
 	for _, p := range e.reg.Pools() {
 		pools[p.Name()] = p.Remaining()
@@ -253,12 +278,26 @@ func (e *EscrowLedger) SnapshotState() (pools map[string]float64, leases []Lease
 }
 
 // Compact snapshots the current state into the store and truncates the WAL.
+// e.mu is held across both the capture and the store write: because every
+// mutation appends its WAL record under e.mu too, no grant or debit can land
+// between "state captured" and "WAL truncated" — the snapshot's sequence
+// number exactly covers the records it folded in, and nothing else is lost.
 func (e *EscrowLedger) Compact() error {
 	if e.store == nil {
 		return nil
 	}
-	pools, leases := e.SnapshotState()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pools, leases := e.snapshotLocked()
 	return e.store.Compact(pools, leases)
+}
+
+// WALFailures reports how many ledger appends the store has failed to
+// persist, and the most recent error. Nonzero means recovered state can be
+// stale (spent budget resurrected at the next boot); the serving layer
+// surfaces it as a health condition. A nil or store-less ledger reports zero.
+func (e *EscrowLedger) WALFailures() (uint64, error) {
+	return e.store.AppendFailures()
 }
 
 // Rebase moves the ledger onto a reloaded registry. Pools that carried

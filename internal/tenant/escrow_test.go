@@ -262,3 +262,43 @@ func TestLeaseConcurrentDebitNeverOverdraws(t *testing.T) {
 		t.Fatalf("lease level went negative: %v", lvl)
 	}
 }
+
+// TestEscrowDryPoolRenewalPersistsExpiry: a renewal that finds the pool dry
+// grants nothing but still extends the lease in memory; the extension must
+// reach the WAL too, or a restarted owner restores the lease with a stale
+// expiry and reclaims escrow the live holder is still spending.
+func TestEscrowDryPoolRenewalPersistsExpiry(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 50}})
+	e := NewEscrowLedger(reg, st, time.Second)
+	now := time.Unix(1000, 0)
+	e.now = func() time.Time { return now }
+	if g, _, _ := e.Grant("etl", "h1", 0, 50, false); g != 50 {
+		t.Fatal("grant did not drain the pool")
+	}
+	now = now.Add(900 * time.Millisecond)
+	if g, _, err := e.Grant("etl", "h1", 0, 10, false); err != nil || g != 0 {
+		t.Fatalf("dry renewal = (%v, %v), want a zero grant", g, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	state := st2.State()
+	if len(state.Leases) != 1 {
+		t.Fatalf("recovered leases = %+v, want one", state.Leases)
+	}
+	want := now.Add(time.Second).UnixNano()
+	if got := state.Leases[0].ExpiryUnixNano; got != want {
+		t.Errorf("recovered expiry = %d, want %d (dry renewal extension lost)", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,12 @@ type Store struct {
 	w    *bufio.Writer
 	seq  uint64
 	snap Snapshot // state as recovered at OpenStore time
+
+	// Append-failure latch: a record that could not be written means the next
+	// boot restores state above its true spend — the serving layer surfaces
+	// this as a health condition rather than silently resurrecting budget.
+	appendFails atomic.Uint64
+	appendErr   error // last failure, under mu
 }
 
 // Op names one WAL record type.
@@ -52,6 +59,9 @@ const (
 	// level is unchanged (the grant already debited it), only the
 	// outstanding escrow shrinks.
 	OpSpent Op = "spent"
+	// OpRenew extends a lease's expiry without granting budget (a renewal
+	// that found the pool dry). Pool level and escrow are unchanged.
+	OpRenew Op = "renew"
 	// OpRelease ends a lease, crediting its unspent escrow back to the pool.
 	OpRelease Op = "release"
 	// OpReclaim ends a lease whose holder went silent past its TTL. The
@@ -241,6 +251,10 @@ func applyRecord(snap *Snapshot, leases map[leaseKey]*LeaseRecord, rec Record) {
 				l.Escrow = 0
 			}
 		}
+	case OpRenew:
+		if l := leases[leaseKey{rec.Tenant, rec.Holder}]; l != nil {
+			l.ExpiryUnixNano = rec.ExpiryUnixNano
+		}
 	case OpRelease:
 		// The credited remainder is its own OpCredit record; here only the
 		// lease ends.
@@ -250,7 +264,10 @@ func applyRecord(snap *Snapshot, leases map[leaseKey]*LeaseRecord, rec Record) {
 	}
 }
 
-// Append writes one record to the WAL, assigning its sequence number.
+// Append writes one record to the WAL, assigning its sequence number. A
+// failure is latched (see AppendFailures) as well as returned: the in-memory
+// ledger has already mutated by the time it logs, so a dropped record cannot
+// be rolled back, only surfaced.
 func (s *Store) Append(rec Record) error {
 	if s == nil {
 		return nil
@@ -259,6 +276,15 @@ func (s *Store) Append(rec Record) error {
 	defer s.mu.Unlock()
 	s.seq++
 	rec.Seq = s.seq
+	err := s.appendLocked(rec)
+	if err != nil {
+		s.appendFails.Add(1)
+		s.appendErr = err
+	}
+	return err
+}
+
+func (s *Store) appendLocked(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -267,6 +293,22 @@ func (s *Store) Append(rec Record) error {
 		return err
 	}
 	return s.w.Flush()
+}
+
+// AppendFailures reports how many WAL appends have failed since open, with
+// the most recent error. Nonzero means the durable state under-records spend
+// and a restart can resurrect spent budget. Nil-safe.
+func (s *Store) AppendFailures() (uint64, error) {
+	if s == nil {
+		return 0, nil
+	}
+	n := s.appendFails.Load()
+	if n == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n, s.appendErr
 }
 
 // Compact writes a fresh snapshot of the given state and truncates the WAL.

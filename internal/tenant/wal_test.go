@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -179,5 +180,107 @@ func TestStoreSequencesSurviveReopen(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), `"seq":3`) {
 		t.Errorf("reopened store did not continue the sequence:\n%s", raw)
+	}
+}
+
+// TestStoreCompactConcurrentMutationsExact races compactions against ledger
+// mutations. Any debit or grant landing "inside" a compaction must be either
+// folded into the snapshot or left alive in the WAL — exactly one of the two
+// — so recovery reproduces the live state bit-exactly. (All amounts are
+// binary fractions, so float comparison below really is exact.)
+func TestStoreCompactConcurrentMutationsExact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mustRegistry(t, map[string]Limits{"etl": {Budget: 4096}})
+	e := NewEscrowLedger(reg, st, time.Hour)
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	compactDone := make(chan struct{})
+	go func() {
+		defer close(compactDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := e.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			holder := string(rune('a' + w))
+			for i := 0; i < 300; i++ {
+				switch i % 3 {
+				case 0:
+					e.DebitLocal("etl", 0.25)
+				case 1:
+					_, _, _ = e.Grant("etl", holder, 0, 0.5, false)
+				case 2:
+					_, _, _ = e.Grant("etl", holder, 0.25, 0, false)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-compactDone
+
+	wantPool := reg.Get("etl").Remaining()
+	_, wantEscrow := e.Outstanding("etl")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	state := st2.State()
+	if got := state.Pools["etl"]; got != wantPool {
+		t.Errorf("recovered pool level = %v, want exactly %v", got, wantPool)
+	}
+	var gotEscrow float64
+	for _, l := range state.Leases {
+		gotEscrow += l.Escrow
+	}
+	if gotEscrow != wantEscrow {
+		t.Errorf("recovered escrow = %v, want exactly %v", gotEscrow, wantEscrow)
+	}
+}
+
+// TestStoreAppendFailureLatched: a record the WAL cannot persist must be
+// counted and its error kept, because the in-memory ledger has already
+// mutated — silent loss would resurrect spent budget at the next boot.
+func TestStoreAppendFailureLatched(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Op: OpDebit, Tenant: "etl", Amount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n, lastErr := st.AppendFailures(); n != 0 || lastErr != nil {
+		t.Fatalf("healthy store reports failures: (%d, %v)", n, lastErr)
+	}
+	// Sever the file under the store: appends from here on must fail loudly.
+	st.wal.Close()
+	if err := st.Append(Record{Op: OpDebit, Tenant: "etl", Amount: 1}); err == nil {
+		t.Fatal("append to a closed WAL reported success")
+	}
+	if n, lastErr := st.AppendFailures(); n != 1 || lastErr == nil {
+		t.Errorf("AppendFailures = (%d, %v), want (1, non-nil)", n, lastErr)
 	}
 }
