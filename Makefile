@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-json bench-check cover ring-demo ci
+.PHONY: all fmt vet build test bench bench-json bench-check bench-diff cover ring-demo ci
 
 all: build
 
@@ -27,8 +27,11 @@ bench: ## one-iteration benchmark smoke run (the CI bench-smoke job)
 bench-json: ## regenerate the per-PR perf trajectory JSON (BENCH_<n>.json)
 	./scripts/bench-json.sh $(or $(OUT),bench.json)
 
-bench-check: ## fail if the cached-plan path regressed >10% vs the baseline
-	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_7.json)
+bench-check: ## fail on >10% cached-plan slowdown or any alloc growth vs baseline
+	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_8.json)
+
+bench-diff: ## report the delta between the last two committed BENCH_*.json
+	./scripts/bench-diff.sh
 
 cover: ## -race suite + per-package coverage + the server+tenant gate
 	./scripts/coverage.sh

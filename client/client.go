@@ -190,6 +190,36 @@ type AdmitResponse struct {
 	BudgetRemaining float64       `json:"budgetRemaining"`
 }
 
+// AdmitBatchJob is one arriving job in a batch admission.
+type AdmitBatchJob struct {
+	Job      chronos.JobParams `json:"job"`
+	Strategy string            `json:"strategy,omitempty"`
+}
+
+// AdmitBatchRequest asks for admission decisions for several same-tenant
+// jobs, settled against the tenant's budget in one ledger debit per server
+// contacted.
+type AdmitBatchRequest struct {
+	Tenant string          `json:"tenant"`
+	Jobs   []AdmitBatchJob `json:"jobs"`
+	Econ   chronos.Econ    `json:"econ,omitempty"`
+}
+
+// AdmitBatchResult is one job's decision, in request order.
+type AdmitBatchResult struct {
+	Admitted bool          `json:"admitted"`
+	Plan     *chronos.Plan `json:"plan,omitempty"`
+	Reason   string        `json:"reason,omitempty"`
+}
+
+// AdmitBatchResponse is the /v1/admit/batch answer.
+type AdmitBatchResponse struct {
+	Tenant          string             `json:"tenant"`
+	Results         []AdmitBatchResult `json:"results"`
+	Admitted        int                `json:"admitted"`
+	BudgetRemaining float64            `json:"budgetRemaining"`
+}
+
 // SimulateRequest runs a bounded Monte-Carlo what-if.
 type SimulateRequest struct {
 	Config chronos.SimConfig `json:"config"`
@@ -262,6 +292,68 @@ func (c *Client) Admit(ctx context.Context, req AdmitRequest) (*AdmitResponse, e
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// AdmitBatch asks for admission decisions for several same-tenant jobs.
+// Against a fleet it groups the jobs by the ring owner of their plan key and
+// posts one sub-batch per owning replica — each sub-batch is decided on the
+// replica whose cache holds its plans and settled in a single ledger debit —
+// then reassembles the per-job results in input order. BudgetRemaining in
+// the merged response is the lowest level any contacted replica reported
+// (the most conservative fleet view). The first transport or HTTP error
+// aborts the whole call; jobs in sub-batches already decided by then may
+// have been admitted and debited.
+func (c *Client) AdmitBatch(ctx context.Context, req AdmitBatchRequest) (*AdmitBatchResponse, error) {
+	if c.ring == nil || len(req.Jobs) == 0 {
+		var resp AdmitBatchResponse
+		if err := c.postJSON(ctx, c.replicas[0], "/v1/admit/batch", req, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	// Group job indices by owning replica, preserving input order per group.
+	groups := make(map[string][]int)
+	var order []string
+	for i, j := range req.Jobs {
+		base := c.planTarget(j.Strategy, j.Job, req.Econ)
+		if _, seen := groups[base]; !seen {
+			order = append(order, base)
+		}
+		groups[base] = append(groups[base], i)
+	}
+	merged := &AdmitBatchResponse{
+		Tenant:  req.Tenant,
+		Results: make([]AdmitBatchResult, len(req.Jobs)),
+	}
+	first := true
+	for _, base := range order {
+		idxs := groups[base]
+		sub := AdmitBatchRequest{
+			Tenant: req.Tenant,
+			Jobs:   make([]AdmitBatchJob, 0, len(idxs)),
+			Econ:   req.Econ,
+		}
+		for _, i := range idxs {
+			sub.Jobs = append(sub.Jobs, req.Jobs[i])
+		}
+		var resp AdmitBatchResponse
+		if err := c.postJSON(ctx, base, "/v1/admit/batch", sub, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(idxs) {
+			return nil, fmt.Errorf("chronosd: admit batch: replica %s answered %d results for %d jobs",
+				base, len(resp.Results), len(idxs))
+		}
+		for k, i := range idxs {
+			merged.Results[i] = resp.Results[k]
+		}
+		merged.Admitted += resp.Admitted
+		if first || resp.BudgetRemaining < merged.BudgetRemaining {
+			merged.BudgetRemaining = resp.BudgetRemaining
+		}
+		first = false
+	}
+	return merged, nil
 }
 
 // PlanBatch plans a shared-budget batch on the next replica in round-robin

@@ -154,6 +154,76 @@ func TestClientAdmitAndBatch(t *testing.T) {
 	}
 }
 
+// TestClientAdmitBatchFleet scatters one admission batch across a 3-replica
+// fleet: the client splits jobs by plan-key owner, each replica decides its
+// sub-batch locally (no forwards), and the merged results come back in
+// input order with every job's plan.
+func TestClientAdmitBatchFleet(t *testing.T) {
+	mkReg := func() *tenant.Registry {
+		reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+			"team": {Budget: 1e6, Theta: 1e-4, UnitPrice: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	c, _ := newFleet(t, 3, func(i int) server.Config {
+		return server.Config{Tenants: mkReg()}
+	})
+	ctx := context.Background()
+
+	// Distinct job shapes spread plan keys over several owners.
+	jobs := make([]AdmitBatchJob, 9)
+	for i := range jobs {
+		jobs[i] = AdmitBatchJob{Job: chronos.JobParams{
+			Tasks: 10 + i, Deadline: 100, TMin: 10, Beta: 1.5,
+			TauEst: 30, TauKill: 60,
+		}}
+	}
+	resp, err := c.AdmitBatch(ctx, AdmitBatchRequest{Tenant: "team", Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(resp.Results), len(jobs))
+	}
+	if resp.Admitted != len(jobs) {
+		t.Fatalf("admitted %d of %d under a huge budget", resp.Admitted, len(jobs))
+	}
+	for i, res := range resp.Results {
+		if !res.Admitted || res.Plan == nil {
+			t.Fatalf("job %d: %+v, want admitted with a plan", i, res)
+		}
+		// Each job shape has a distinct optimal plan; recompute it to prove
+		// the scatter/gather preserved input order.
+		want, err := chronos.OptimizeBest(jobs[i].Job, chronos.Econ{Theta: 1e-4, UnitPrice: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res.Plan != want {
+			t.Errorf("job %d: plan %+v, want %+v — scatter/gather reordered results",
+				i, *res.Plan, want)
+		}
+	}
+	if resp.BudgetRemaining <= 0 || resp.BudgetRemaining >= 1e6 {
+		t.Errorf("merged budgetRemaining = %g, want in (0, 1e6)", resp.BudgetRemaining)
+	}
+
+	// The client-side split means no replica should have paid a forward hop.
+	for i, base := range c.Replicas() {
+		text, err := metricsAt(ctx, c, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "chronosd_ring_forwarded_total") && !strings.HasSuffix(line, " 0") {
+				t.Errorf("replica %d forwarded during a grouped batch: %s", i, line)
+			}
+		}
+	}
+}
+
 func TestNewPanicsOnEmptyURL(t *testing.T) {
 	defer func() {
 		if recover() == nil {

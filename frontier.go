@@ -1,0 +1,134 @@
+package chronos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chronos/internal/analysis"
+	"chronos/internal/optimize"
+)
+
+// BudgetFrontier is the precomputed form of OptimizeWithinBudget /
+// OptimizeBestWithinBudget for one (job, econ, strategy-selector) cell. An
+// admission controller squeezing repeated quantization-equal jobs against a
+// draining ledger re-derives the same feasibility frontier on every
+// request; building it once turns each subsequent capped solve into a scan
+// of an in-memory table with no model evaluations.
+//
+// PlanWithinBudget returns bit-identical plans and errors to the
+// corresponding Optimize*WithinBudget call for every budget.
+type BudgetFrontier struct {
+	// strategies holds the per-strategy tables in ChronosStrategies order
+	// for best-of-three, or exactly one entry for a pinned strategy. A nil
+	// entry marks a strategy that is infeasible regardless of budget.
+	strategies []frontierEntry
+	best       bool
+}
+
+type frontierEntry struct {
+	strategy Strategy
+	frontier *optimize.Frontier // nil: infeasible at any budget
+}
+
+// NewBudgetFrontier precomputes the capped-solve table for one pinned
+// strategy. Errors are OptimizeWithinBudget's budget-independent ones:
+// ErrNotAnalytic, parameter validation, ErrInfeasible.
+func NewBudgetFrontier(s Strategy, p JobParams, e Econ) (*BudgetFrontier, error) {
+	kind, err := analyticKind(s)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := p.toAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	f, err := optimize.NewFrontier(analysis.NewModel(kind, ap), optimize.Config(e))
+	if err != nil {
+		return nil, err
+	}
+	return &BudgetFrontier{strategies: []frontierEntry{{strategy: s, frontier: f}}}, nil
+}
+
+// NewBudgetFrontierBest precomputes the capped-solve tables for all three
+// Chronos strategies. Strategies that are infeasible at any budget are
+// recorded as such (PlanWithinBudget skips them exactly like
+// OptimizeBestWithinBudget does); the constructor fails only when a
+// budget-independent hard error occurs or every strategy is infeasible.
+func NewBudgetFrontierBest(p JobParams, e Econ) (*BudgetFrontier, error) {
+	bf := &BudgetFrontier{best: true}
+	feasible := false
+	for _, s := range ChronosStrategies() {
+		f, err := NewBudgetFrontier(s, p, e)
+		switch {
+		case errors.Is(err, optimize.ErrInfeasible):
+			bf.strategies = append(bf.strategies, frontierEntry{strategy: s})
+			continue
+		case err != nil:
+			return nil, err
+		}
+		bf.strategies = append(bf.strategies, frontierEntry{strategy: s, frontier: f.strategies[0].frontier})
+		feasible = true
+	}
+	if !feasible {
+		return nil, optimize.ErrInfeasible
+	}
+	return bf, nil
+}
+
+// PlanWithinBudget answers OptimizeWithinBudget (pinned construction) or
+// OptimizeBestWithinBudget (best-of-three construction) from the tables.
+func (bf *BudgetFrontier) PlanWithinBudget(budget float64) (Plan, error) {
+	if math.IsNaN(budget) {
+		// SolveCapped rejects a NaN budget before solving, so even cells
+		// whose strategies are all infeasible report this first.
+		return Plan{}, fmt.Errorf("optimize: budget is NaN")
+	}
+	best := Plan{}
+	found, sawBudget := false, false
+	for _, ent := range bf.strategies {
+		if ent.frontier == nil {
+			continue
+		}
+		res, err := ent.frontier.Solve(budget)
+		switch {
+		case errors.Is(err, optimize.ErrBudgetTooSmall):
+			if !bf.best {
+				return Plan{}, err
+			}
+			sawBudget = true
+			continue
+		case err != nil:
+			return Plan{}, err
+		}
+		plan := planFromResult(ent.strategy, res)
+		if !found || plan.Utility > best.Utility {
+			best, found = plan, true
+		}
+	}
+	if !found {
+		if sawBudget {
+			return Plan{}, optimize.ErrBudgetTooSmall
+		}
+		return Plan{}, optimize.ErrInfeasible
+	}
+	return best, nil
+}
+
+// Unconstrained returns the best unconstrained plan across the tables —
+// what PlanWithinBudget returns for any budget that covers it, and the
+// plan OptimizeBest / Optimize would compute for the same cell.
+func (bf *BudgetFrontier) Unconstrained() Plan {
+	best := Plan{}
+	found := false
+	for _, ent := range bf.strategies {
+		if ent.frontier == nil {
+			continue
+		}
+		plan := planFromResult(ent.strategy, ent.frontier.Unconstrained())
+		if !found || plan.Utility > best.Utility {
+			best, found = plan, true
+		}
+	}
+	return best
+}

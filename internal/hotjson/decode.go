@@ -1,0 +1,1358 @@
+package hotjson
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"chronos"
+)
+
+// maxNestingDepth matches encoding/json's scanner limit: the decoder
+// errors once more than this many objects/arrays are open at once.
+const maxNestingDepth = 10000
+
+// decoder is a single-pass JSON scanner over one request body. It lives on
+// the caller's stack; scratch is only touched when a string needs
+// unescaping or UTF-8 repair, so hot numeric bodies never allocate.
+type decoder struct {
+	data    []byte
+	off     int
+	depth   int
+	intern  Interner
+	scratch []byte
+}
+
+func (d *decoder) syntaxf(format string, args ...any) error {
+	return fmt.Errorf("hotjson: "+format+" at offset %d", append(args, d.off)...)
+}
+
+var errUnexpectedEnd = fmt.Errorf("hotjson: unexpected end of JSON input")
+
+// peek returns the next non-whitespace byte without consuming it.
+func (d *decoder) peek() (byte, error) {
+	for d.off < len(d.data) {
+		switch c := d.data[d.off]; c {
+		case ' ', '\t', '\n', '\r':
+			d.off++
+		default:
+			return c, nil
+		}
+	}
+	return 0, errUnexpectedEnd
+}
+
+func (d *decoder) literal(lit string) error {
+	if len(d.data)-d.off < len(lit) || string(d.data[d.off:d.off+len(lit)]) != lit {
+		return d.syntaxf("invalid literal")
+	}
+	d.off += len(lit)
+	return nil
+}
+
+// end verifies only whitespace remains, as json.Unmarshal does after the
+// top-level value.
+func (d *decoder) end() error {
+	if _, err := d.peek(); err == nil {
+		return d.syntaxf("invalid character after top-level value")
+	}
+	return nil
+}
+
+// stringBytes decodes a JSON string starting at the opening quote. The
+// returned slice aliases either the input (fast path: printable ASCII, no
+// escapes) or d.scratch, and is valid until the next stringBytes call.
+// Escapes and UTF-8 repair follow encoding/json: surrogate pairs combine,
+// unpaired surrogates and invalid UTF-8 become U+FFFD.
+func (d *decoder) stringBytes() ([]byte, error) {
+	if d.off >= len(d.data) || d.data[d.off] != '"' {
+		return nil, d.syntaxf("expected string")
+	}
+	start := d.off + 1
+	i := start
+	for i < len(d.data) {
+		c := d.data[i]
+		if c == '"' {
+			d.off = i + 1
+			return d.data[start:i], nil
+		}
+		if c == '\\' || c < ' ' || c >= utf8.RuneSelf {
+			return d.stringBytesSlow(start, i)
+		}
+		i++
+	}
+	return nil, errUnexpectedEnd
+}
+
+// stringBytesSlow finishes a string that needs escape processing or UTF-8
+// validation, writing the decoded form into d.scratch. start is the index
+// just past the opening quote; clean is the index of the first byte that
+// needs attention (everything in [start, clean) is plain ASCII).
+func (d *decoder) stringBytesSlow(start, clean int) ([]byte, error) {
+	b := append(d.scratch[:0], d.data[start:clean]...)
+	s := d.data
+	r := clean
+	for r < len(s) {
+		switch c := s[r]; {
+		case c == '"':
+			d.off = r + 1
+			d.scratch = b
+			return b, nil
+		case c == '\\':
+			r++
+			if r >= len(s) {
+				return nil, errUnexpectedEnd
+			}
+			switch s[r] {
+			case '"', '\\', '/':
+				b = append(b, s[r])
+				r++
+			case 'b':
+				b = append(b, '\b')
+				r++
+			case 'f':
+				b = append(b, '\f')
+				r++
+			case 'n':
+				b = append(b, '\n')
+				r++
+			case 'r':
+				b = append(b, '\r')
+				r++
+			case 't':
+				b = append(b, '\t')
+				r++
+			case 'u':
+				r--
+				rr := getu4(s[r:])
+				if rr < 0 {
+					return nil, d.syntaxf("invalid \\u escape")
+				}
+				r += 6
+				if utf16.IsSurrogate(rr) {
+					rr1 := getu4(s[r:])
+					if dec := utf16.DecodeRune(rr, rr1); dec != utf8.RuneError {
+						// A valid pair; consume both halves.
+						r += 6
+						b = utf8.AppendRune(b, dec)
+						break
+					}
+					// Unpaired surrogate: replacement rune, second
+					// escape (if any) processed on its own.
+					rr = utf8.RuneError
+				}
+				b = utf8.AppendRune(b, rr)
+			default:
+				return nil, d.syntaxf("invalid escape character")
+			}
+		case c < ' ':
+			return nil, d.syntaxf("invalid control character in string")
+		case c < utf8.RuneSelf:
+			b = append(b, c)
+			r++
+		default:
+			rr, size := utf8.DecodeRune(s[r:])
+			if rr == utf8.RuneError && size == 1 {
+				b = utf8.AppendRune(b, utf8.RuneError)
+				r++
+				break
+			}
+			b = append(b, s[r:r+size]...)
+			r += size
+		}
+	}
+	return nil, errUnexpectedEnd
+}
+
+// getu4 decodes \uXXXX from the start of s, returning -1 on malformed
+// input — a direct port of encoding/json's helper.
+func getu4(s []byte) rune {
+	if len(s) < 6 || s[0] != '\\' || s[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for _, c := range s[2:6] {
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return -1
+		}
+		r = r*16 + rune(c)
+	}
+	return r
+}
+
+// numberToken consumes one number per the JSON grammar and returns its raw
+// bytes.
+func (d *decoder) numberToken() ([]byte, error) {
+	s := d.data
+	i := d.off
+	start := i
+	if i < len(s) && s[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(s) && s[i] == '0':
+		i++
+	case i < len(s) && '1' <= s[i] && s[i] <= '9':
+		i++
+		for i < len(s) && '0' <= s[i] && s[i] <= '9' {
+			i++
+		}
+	default:
+		return nil, d.syntaxf("invalid number")
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return nil, d.syntaxf("invalid number")
+		}
+		for i < len(s) && '0' <= s[i] && s[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			i++
+		}
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return nil, d.syntaxf("invalid number")
+		}
+		for i < len(s) && '0' <= s[i] && s[i] <= '9' {
+			i++
+		}
+	}
+	d.off = i
+	return s[start:i], nil
+}
+
+// enterObject consumes the opening brace of an object, or an entire null
+// (reported via isNull so struct fields keep encoding/json's null-is-no-op
+// semantics).
+func (d *decoder) enterObject() (isNull bool, err error) {
+	c, err := d.peek()
+	if err != nil {
+		return false, err
+	}
+	if c == 'n' {
+		return true, d.literal("null")
+	}
+	if c != '{' {
+		return false, d.syntaxf("expected object")
+	}
+	d.off++
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return false, d.syntaxf("exceeded max depth")
+	}
+	return false, nil
+}
+
+// objectKey advances to the next key of the current object. done reports
+// the closing brace was consumed. The returned key is decoded (unescaped)
+// and only valid until the next string decode.
+func (d *decoder) objectKey(first *bool) (key []byte, done bool, err error) {
+	c, err := d.peek()
+	if err != nil {
+		return nil, false, err
+	}
+	if *first {
+		*first = false
+		if c == '}' {
+			d.off++
+			d.depth--
+			return nil, true, nil
+		}
+	} else {
+		switch c {
+		case '}':
+			d.off++
+			d.depth--
+			return nil, true, nil
+		case ',':
+			d.off++
+			if c, err = d.peek(); err != nil {
+				return nil, false, err
+			}
+		default:
+			return nil, false, d.syntaxf("expected ',' or '}' in object")
+		}
+	}
+	if c != '"' {
+		return nil, false, d.syntaxf("expected object key string")
+	}
+	key, err = d.stringBytes()
+	if err != nil {
+		return nil, false, err
+	}
+	if c, err = d.peek(); err != nil {
+		return nil, false, err
+	}
+	if c != ':' {
+		return nil, false, d.syntaxf("expected ':' after object key")
+	}
+	d.off++
+	return key, false, nil
+}
+
+// fieldIs matches a decoded key against a field name with encoding/json's
+// resolution: exact bytes, or a case-fold match as fallback (the caller
+// tries exact matches for all fields before folded ones).
+func fieldIs(key []byte, name string) bool {
+	return string(key) == name
+}
+
+func fieldFoldIs(key []byte, name string) bool {
+	return bytes.EqualFold(key, []byte(name))
+}
+
+// skipValue validates and discards one JSON value of any type.
+func (d *decoder) skipValue() error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '{':
+		d.off++
+		d.depth++
+		if d.depth > maxNestingDepth {
+			return d.syntaxf("exceeded max depth")
+		}
+		first := true
+		for {
+			_, done, err := d.objectKey(&first)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+		}
+	case '[':
+		d.off++
+		d.depth++
+		if d.depth > maxNestingDepth {
+			return d.syntaxf("exceeded max depth")
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		if c == ']' {
+			d.off++
+			d.depth--
+			return nil
+		}
+		for {
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			if c, err = d.peek(); err != nil {
+				return err
+			}
+			switch c {
+			case ']':
+				d.off++
+				d.depth--
+				return nil
+			case ',':
+				d.off++
+			default:
+				return d.syntaxf("expected ',' or ']' in array")
+			}
+		}
+	case '"':
+		_, err := d.stringBytes()
+		return err
+	case 't':
+		return d.literal("true")
+	case 'f':
+		return d.literal("false")
+	case 'n':
+		return d.literal("null")
+	default:
+		_, err := d.numberToken()
+		return err
+	}
+}
+
+// floatField decodes a JSON number into dst; null is a no-op, anything
+// else is an error — matching encoding/json for a float64 struct field.
+func (d *decoder) floatField(dst *float64) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.numberToken()
+	if err != nil {
+		return err
+	}
+	f, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return d.syntaxf("number %s out of range", tok)
+	}
+	*dst = f
+	return nil
+}
+
+func (d *decoder) intField(dst *int) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.numberToken()
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseInt(string(tok), 10, 64)
+	if err != nil {
+		return d.syntaxf("cannot decode number %s into int", tok)
+	}
+	*dst = int(n)
+	return nil
+}
+
+func (d *decoder) uintField(dst *uint64) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.numberToken()
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseUint(string(tok), 10, 64)
+	if err != nil {
+		return d.syntaxf("cannot decode number %s into uint64", tok)
+	}
+	*dst = n
+	return nil
+}
+
+func (d *decoder) boolField(dst *bool) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case 't':
+		if err := d.literal("true"); err != nil {
+			return err
+		}
+		*dst = true
+		return nil
+	case 'f':
+		if err := d.literal("false"); err != nil {
+			return err
+		}
+		*dst = false
+		return nil
+	case 'n':
+		return d.literal("null")
+	default:
+		return d.syntaxf("expected boolean")
+	}
+}
+
+// internedString resolves decoded bytes to a string, consulting the common
+// vocabulary and the caller's Interner before allocating.
+func (d *decoder) internedString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := commonStrings[string(b)]; ok {
+		return s
+	}
+	if d.intern != nil {
+		if s, ok := d.intern.InternString(b); ok {
+			return s
+		}
+	}
+	return string(b)
+}
+
+func (d *decoder) stringField(dst *string) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	b, err := d.stringBytes()
+	if err != nil {
+		return err
+	}
+	*dst = d.internedString(b)
+	return nil
+}
+
+// floatPtrField decodes into a *float64 field: null sets the pointer to
+// nil, a number allocates (or reuses) the pointee.
+func (d *decoder) floatPtrField(dst **float64) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(float64)
+	}
+	return d.floatField(*dst)
+}
+
+func (d *decoder) intPtrField(dst **int) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(int)
+	}
+	return d.intField(*dst)
+}
+
+// strategyField replicates chronos.Strategy.UnmarshalJSON: a strategy name
+// (preferred), a raw enum integer, or an error.
+func (d *decoder) strategyField(dst *chronos.Strategy) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	switch {
+	case c == '"':
+		b, err := d.stringBytes()
+		if err != nil {
+			return err
+		}
+		parsed, perr := chronos.ParseStrategy(string(b))
+		if perr != nil {
+			return perr
+		}
+		*dst = parsed
+		return nil
+	case c == 'n':
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		// Unmarshal(null, &name) succeeds with name == "", so
+		// Strategy.UnmarshalJSON fails in ParseStrategy("").
+		_, perr := chronos.ParseStrategy("")
+		return perr
+	case c == '-' || ('0' <= c && c <= '9'):
+		tok, err := d.numberToken()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(string(tok), 10, 64)
+		if err != nil {
+			return fmt.Errorf("chronos: strategy must be a name or integer: %w", err)
+		}
+		if n < int64(chronos.Clone) || n > int64(chronos.LATE) {
+			return fmt.Errorf("chronos: strategy %d out of range", n)
+		}
+		*dst = chronos.Strategy(n)
+		return nil
+	default:
+		return fmt.Errorf("chronos: strategy must be a name or integer")
+	}
+}
+
+func (d *decoder) decodeJobParams(v *chronos.JobParams) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "tasks"):
+			err = d.intField(&v.Tasks)
+		case fieldIs(key, "deadline"):
+			err = d.floatField(&v.Deadline)
+		case fieldIs(key, "tmin"):
+			err = d.floatField(&v.TMin)
+		case fieldIs(key, "beta"):
+			err = d.floatField(&v.Beta)
+		case fieldIs(key, "tauEst"):
+			err = d.floatField(&v.TauEst)
+		case fieldIs(key, "tauKill"):
+			err = d.floatField(&v.TauKill)
+		case fieldIs(key, "phiEst"):
+			err = d.floatField(&v.PhiEst)
+		case fieldFoldIs(key, "tasks"):
+			err = d.intField(&v.Tasks)
+		case fieldFoldIs(key, "deadline"):
+			err = d.floatField(&v.Deadline)
+		case fieldFoldIs(key, "tmin"):
+			err = d.floatField(&v.TMin)
+		case fieldFoldIs(key, "beta"):
+			err = d.floatField(&v.Beta)
+		case fieldFoldIs(key, "tauEst"):
+			err = d.floatField(&v.TauEst)
+		case fieldFoldIs(key, "tauKill"):
+			err = d.floatField(&v.TauKill)
+		case fieldFoldIs(key, "phiEst"):
+			err = d.floatField(&v.PhiEst)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) decodeEcon(v *chronos.Econ) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "theta"):
+			err = d.floatField(&v.Theta)
+		case fieldIs(key, "unitPrice"):
+			err = d.floatField(&v.UnitPrice)
+		case fieldIs(key, "rmin"):
+			err = d.floatField(&v.RMin)
+		case fieldFoldIs(key, "theta"):
+			err = d.floatField(&v.Theta)
+		case fieldFoldIs(key, "unitPrice"):
+			err = d.floatField(&v.UnitPrice)
+		case fieldFoldIs(key, "rmin"):
+			err = d.floatField(&v.RMin)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) decodePlan(v *chronos.Plan) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "strategy"):
+			err = d.strategyField(&v.Strategy)
+		case fieldIs(key, "r"):
+			err = d.intField(&v.R)
+		case fieldIs(key, "pocd"):
+			err = d.floatField(&v.PoCD)
+		case fieldIs(key, "machineTime"):
+			err = d.floatField(&v.MachineTime)
+		case fieldIs(key, "cost"):
+			err = d.floatField(&v.Cost)
+		case fieldIs(key, "utility"):
+			err = d.floatField(&v.Utility)
+		case fieldFoldIs(key, "strategy"):
+			err = d.strategyField(&v.Strategy)
+		case fieldFoldIs(key, "r"):
+			err = d.intField(&v.R)
+		case fieldFoldIs(key, "pocd"):
+			err = d.floatField(&v.PoCD)
+		case fieldFoldIs(key, "machineTime"):
+			err = d.floatField(&v.MachineTime)
+		case fieldFoldIs(key, "cost"):
+			err = d.floatField(&v.Cost)
+		case fieldFoldIs(key, "utility"):
+			err = d.floatField(&v.Utility)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// DecodePlanRequest decodes data into v with encoding/json's semantics for
+// the same struct. in may be nil.
+func DecodePlanRequest(data []byte, v *PlanRequest, in Interner) error {
+	d := decoder{data: data, intern: in}
+	if err := d.decodePlanRequest(v); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+func (d *decoder) decodePlanRequest(v *PlanRequest) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "job"):
+			err = d.decodeJobParams(&v.Job)
+		case fieldIs(key, "econ"):
+			err = d.decodeEcon(&v.Econ)
+		case fieldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		case fieldFoldIs(key, "job"):
+			err = d.decodeJobParams(&v.Job)
+		case fieldFoldIs(key, "econ"):
+			err = d.decodeEcon(&v.Econ)
+		case fieldFoldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldFoldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// DecodeAdmitRequest decodes data into v with encoding/json's semantics
+// for the same struct. in may be nil.
+func DecodeAdmitRequest(data []byte, v *AdmitRequest, in Interner) error {
+	d := decoder{data: data, intern: in}
+	if err := d.decodeAdmitRequest(v); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+func (d *decoder) decodeAdmitRequest(v *AdmitRequest) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		case fieldIs(key, "job"):
+			err = d.decodeJobParams(&v.Job)
+		case fieldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldIs(key, "econ"):
+			err = d.decodeEcon(&v.Econ)
+		case fieldFoldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		case fieldFoldIs(key, "job"):
+			err = d.decodeJobParams(&v.Job)
+		case fieldFoldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldFoldIs(key, "econ"):
+			err = d.decodeEcon(&v.Econ)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// DecodePlan decodes data into v with encoding/json's semantics for
+// chronos.Plan, including Strategy's name-or-integer unmarshaling.
+func DecodePlan(data []byte, v *chronos.Plan) error {
+	d := decoder{data: data}
+	if err := d.decodePlan(v); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+// DecodePlanResponse decodes data into v with encoding/json's semantics
+// for the same struct.
+func DecodePlanResponse(data []byte, v *PlanResponse) error {
+	d := decoder{data: data}
+	if err := d.decodePlanResponse(v); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+func (d *decoder) decodePlanResponse(v *PlanResponse) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "plan"):
+			err = d.decodePlan(&v.Plan)
+		case fieldIs(key, "cached"):
+			err = d.boolField(&v.Cached)
+		case fieldIs(key, "budgetRemaining"):
+			err = d.floatPtrField(&v.BudgetRemaining)
+		case fieldFoldIs(key, "plan"):
+			err = d.decodePlan(&v.Plan)
+		case fieldFoldIs(key, "cached"):
+			err = d.boolField(&v.Cached)
+		case fieldFoldIs(key, "budgetRemaining"):
+			err = d.floatPtrField(&v.BudgetRemaining)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// DecodeAdmitResponse decodes data into v with encoding/json's semantics
+// for the same struct.
+func DecodeAdmitResponse(data []byte, v *AdmitResponse) error {
+	d := decoder{data: data}
+	if err := d.decodeAdmitResponse(v); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+func (d *decoder) decodeAdmitResponse(v *AdmitResponse) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "admitted"):
+			err = d.boolField(&v.Admitted)
+		case fieldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		case fieldIs(key, "plan"):
+			err = d.planPtrField(&v.Plan)
+		case fieldIs(key, "reason"):
+			err = d.stringField(&v.Reason)
+		case fieldIs(key, "budgetRemaining"):
+			err = d.floatField(&v.BudgetRemaining)
+		case fieldFoldIs(key, "admitted"):
+			err = d.boolField(&v.Admitted)
+		case fieldFoldIs(key, "tenant"):
+			err = d.stringField(&v.Tenant)
+		case fieldFoldIs(key, "plan"):
+			err = d.planPtrField(&v.Plan)
+		case fieldFoldIs(key, "reason"):
+			err = d.stringField(&v.Reason)
+		case fieldFoldIs(key, "budgetRemaining"):
+			err = d.floatField(&v.BudgetRemaining)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) planPtrField(dst **chronos.Plan) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(chronos.Plan)
+	}
+	return d.decodePlan(*dst)
+}
+
+// intIntMap decodes an object with integer keys, matching encoding/json's
+// map semantics: null sets the map to nil, {} allocates an empty map, and
+// keys parse with ParseInt.
+func (d *decoder) intIntMap(dst *map[int]int) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if c != '{' {
+		return d.syntaxf("expected object")
+	}
+	d.off++
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return d.syntaxf("exceeded max depth")
+	}
+	if *dst == nil {
+		*dst = make(map[int]int)
+	}
+	m := *dst
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		k, err := strconv.ParseInt(string(key), 10, 64)
+		if err != nil {
+			return d.syntaxf("cannot decode object key %q into int", key)
+		}
+		var v int
+		if err := d.intField(&v); err != nil {
+			return err
+		}
+		m[int(k)] = v
+	}
+}
+
+// DecodeReplayEvent decodes data into ev with encoding/json's semantics
+// for the same struct.
+func DecodeReplayEvent(data []byte, ev *chronos.ReplayEvent) error {
+	d := decoder{data: data}
+	if err := d.decodeReplayEvent(ev); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+func (d *decoder) decodeReplayEvent(ev *chronos.ReplayEvent) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "event"):
+			err = d.stringField((*string)(&ev.Kind))
+		case fieldIs(key, "seq"):
+			err = d.uintField(&ev.Seq)
+		case fieldIs(key, "time"):
+			err = d.floatField(&ev.Time)
+		case fieldIs(key, "job"):
+			err = d.jobEventPtrField(&ev.Job)
+		case fieldIs(key, "outcome"):
+			err = d.outcomePtrField(&ev.Outcome)
+		case fieldIs(key, "pocd"):
+			err = d.floatPtrField(&ev.PoCD)
+		case fieldIs(key, "window"):
+			err = d.windowPtrField(&ev.Window)
+		case fieldIs(key, "summary"):
+			err = d.summaryPtrField(&ev.Summary)
+		case fieldIs(key, "traceId"):
+			err = d.stringField(&ev.TraceID)
+		case fieldIs(key, "tenant"):
+			err = d.stringField(&ev.Tenant)
+		case fieldIs(key, "needed"):
+			err = d.floatField(&ev.Needed)
+		case fieldIs(key, "remaining"):
+			err = d.floatPtrField(&ev.Remaining)
+		case fieldIs(key, "error"):
+			err = d.stringField(&ev.Error)
+		case fieldFoldIs(key, "event"):
+			err = d.stringField((*string)(&ev.Kind))
+		case fieldFoldIs(key, "seq"):
+			err = d.uintField(&ev.Seq)
+		case fieldFoldIs(key, "time"):
+			err = d.floatField(&ev.Time)
+		case fieldFoldIs(key, "job"):
+			err = d.jobEventPtrField(&ev.Job)
+		case fieldFoldIs(key, "outcome"):
+			err = d.outcomePtrField(&ev.Outcome)
+		case fieldFoldIs(key, "pocd"):
+			err = d.floatPtrField(&ev.PoCD)
+		case fieldFoldIs(key, "window"):
+			err = d.windowPtrField(&ev.Window)
+		case fieldFoldIs(key, "summary"):
+			err = d.summaryPtrField(&ev.Summary)
+		case fieldFoldIs(key, "traceId"):
+			err = d.stringField(&ev.TraceID)
+		case fieldFoldIs(key, "tenant"):
+			err = d.stringField(&ev.Tenant)
+		case fieldFoldIs(key, "needed"):
+			err = d.floatField(&ev.Needed)
+		case fieldFoldIs(key, "remaining"):
+			err = d.floatPtrField(&ev.Remaining)
+		case fieldFoldIs(key, "error"):
+			err = d.stringField(&ev.Error)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) jobEventPtrField(dst **chronos.ReplayJobEvent) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(chronos.ReplayJobEvent)
+	}
+	return d.decodeJobEvent(*dst)
+}
+
+func (d *decoder) decodeJobEvent(v *chronos.ReplayJobEvent) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "id"):
+			err = d.intField(&v.ID)
+		case fieldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldIs(key, "tasks"):
+			err = d.intField(&v.Tasks)
+		case fieldIs(key, "reduceTasks"):
+			err = d.intField(&v.ReduceTasks)
+		case fieldIs(key, "arrival"):
+			err = d.floatField(&v.Arrival)
+		case fieldIs(key, "deadline"):
+			err = d.floatField(&v.Deadline)
+		case fieldIs(key, "r"):
+			err = d.intPtrField(&v.R)
+		case fieldIs(key, "reduceR"):
+			err = d.intPtrField(&v.ReduceR)
+		case fieldFoldIs(key, "id"):
+			err = d.intField(&v.ID)
+		case fieldFoldIs(key, "strategy"):
+			err = d.stringField(&v.Strategy)
+		case fieldFoldIs(key, "tasks"):
+			err = d.intField(&v.Tasks)
+		case fieldFoldIs(key, "reduceTasks"):
+			err = d.intField(&v.ReduceTasks)
+		case fieldFoldIs(key, "arrival"):
+			err = d.floatField(&v.Arrival)
+		case fieldFoldIs(key, "deadline"):
+			err = d.floatField(&v.Deadline)
+		case fieldFoldIs(key, "r"):
+			err = d.intPtrField(&v.R)
+		case fieldFoldIs(key, "reduceR"):
+			err = d.intPtrField(&v.ReduceR)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) outcomePtrField(dst **chronos.ReplayOutcome) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(chronos.ReplayOutcome)
+	}
+	return d.decodeOutcome(*dst)
+}
+
+func (d *decoder) decodeOutcome(v *chronos.ReplayOutcome) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "finish"):
+			err = d.floatField(&v.Finish)
+		case fieldIs(key, "metDeadline"):
+			err = d.boolField(&v.MetDeadline)
+		case fieldIs(key, "lateness"):
+			err = d.floatField(&v.Lateness)
+		case fieldIs(key, "machineTime"):
+			err = d.floatField(&v.MachineTime)
+		case fieldIs(key, "cost"):
+			err = d.floatField(&v.Cost)
+		case fieldFoldIs(key, "finish"):
+			err = d.floatField(&v.Finish)
+		case fieldFoldIs(key, "metDeadline"):
+			err = d.boolField(&v.MetDeadline)
+		case fieldFoldIs(key, "lateness"):
+			err = d.floatField(&v.Lateness)
+		case fieldFoldIs(key, "machineTime"):
+			err = d.floatField(&v.MachineTime)
+		case fieldFoldIs(key, "cost"):
+			err = d.floatField(&v.Cost)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) windowPtrField(dst **chronos.ReplayWindow) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(chronos.ReplayWindow)
+	}
+	return d.decodeWindow(*dst)
+}
+
+func (d *decoder) decodeWindow(v *chronos.ReplayWindow) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "index"):
+			err = d.intField(&v.Index)
+		case fieldIs(key, "start"):
+			err = d.floatField(&v.Start)
+		case fieldIs(key, "end"):
+			err = d.floatField(&v.End)
+		case fieldIs(key, "completed"):
+			err = d.intField(&v.Completed)
+		case fieldIs(key, "running"):
+			err = d.decodeSummary(&v.Running)
+		case fieldFoldIs(key, "index"):
+			err = d.intField(&v.Index)
+		case fieldFoldIs(key, "start"):
+			err = d.floatField(&v.Start)
+		case fieldFoldIs(key, "end"):
+			err = d.floatField(&v.End)
+		case fieldFoldIs(key, "completed"):
+			err = d.intField(&v.Completed)
+		case fieldFoldIs(key, "running"):
+			err = d.decodeSummary(&v.Running)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (d *decoder) summaryPtrField(dst **chronos.ReplaySummary) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if *dst == nil {
+		*dst = new(chronos.ReplaySummary)
+	}
+	return d.decodeSummary(*dst)
+}
+
+func (d *decoder) decodeSummary(v *chronos.ReplaySummary) error {
+	isNull, err := d.enterObject()
+	if isNull || err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, done, err := d.objectKey(&first)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		switch {
+		case fieldIs(key, "jobs"):
+			err = d.intField(&v.Jobs)
+		case fieldIs(key, "submitted"):
+			err = d.intField(&v.Submitted)
+		case fieldIs(key, "met"):
+			err = d.intField(&v.Met)
+		case fieldIs(key, "pocd"):
+			err = d.floatField(&v.PoCD)
+		case fieldIs(key, "meanMachineTime"):
+			err = d.floatField(&v.MeanMachineTime)
+		case fieldIs(key, "meanCost"):
+			err = d.floatField(&v.MeanCost)
+		case fieldIs(key, "rHistogram"):
+			err = d.intIntMap(&v.RHistogram)
+		case fieldFoldIs(key, "jobs"):
+			err = d.intField(&v.Jobs)
+		case fieldFoldIs(key, "submitted"):
+			err = d.intField(&v.Submitted)
+		case fieldFoldIs(key, "met"):
+			err = d.intField(&v.Met)
+		case fieldFoldIs(key, "pocd"):
+			err = d.floatField(&v.PoCD)
+		case fieldFoldIs(key, "meanMachineTime"):
+			err = d.floatField(&v.MeanMachineTime)
+		case fieldFoldIs(key, "meanCost"):
+			err = d.floatField(&v.MeanCost)
+		case fieldFoldIs(key, "rHistogram"):
+			err = d.intIntMap(&v.RHistogram)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package hotjson is a hand-rolled, reflection-free JSON codec for the
+// chronosd wire structs on the serving hot path: plan and admit requests
+// and responses, chronos.Plan, and replay stream events.
+//
+// The encoders are append-style and byte-identical to encoding/json
+// (declared field order, omitempty, HTML-escaped strings, ES6 float
+// formatting, string-sorted map keys); the decoders accept exactly the
+// inputs encoding/json accepts for the same structs (any field order,
+// case-insensitive fallback matching, unknown-field skipping, null
+// semantics, � replacement of invalid UTF-8). Both directions are
+// fuzz-verified against encoding/json — see fuzz_test.go. Neither
+// direction allocates on well-formed hot inputs: encoders append into a
+// caller-owned buffer, and decoders resolve repeated strings through an
+// optional Interner instead of allocating fresh copies.
+package hotjson
+
+import "chronos"
+
+// Interner resolves a decoded string to a previously allocated string with
+// identical bytes, letting hot decodes avoid a per-request allocation for
+// recurring values (tenant names, strategy names). Implementations must
+// return (s, true) only when s is byte-for-byte equal to b; returning
+// (_, false) makes the decoder allocate a fresh copy.
+type Interner interface {
+	InternString(b []byte) (string, bool)
+}
+
+// PlanRequest mirrors the body of POST /v1/plan.
+type PlanRequest struct {
+	Job      chronos.JobParams `json:"job"`
+	Econ     chronos.Econ      `json:"econ"`
+	Strategy string            `json:"strategy,omitempty"`
+	Tenant   string            `json:"tenant,omitempty"`
+}
+
+// PlanResponse mirrors the body answered by POST /v1/plan.
+type PlanResponse struct {
+	Plan            chronos.Plan `json:"plan"`
+	Cached          bool         `json:"cached"`
+	BudgetRemaining *float64     `json:"budgetRemaining,omitempty"`
+}
+
+// AdmitRequest mirrors the body of POST /v1/admit.
+type AdmitRequest struct {
+	Tenant   string            `json:"tenant"`
+	Job      chronos.JobParams `json:"job"`
+	Strategy string            `json:"strategy,omitempty"`
+	Econ     chronos.Econ      `json:"econ,omitempty"`
+}
+
+// AdmitResponse mirrors the body answered by POST /v1/admit.
+type AdmitResponse struct {
+	Admitted        bool          `json:"admitted"`
+	Tenant          string        `json:"tenant"`
+	Plan            *chronos.Plan `json:"plan,omitempty"`
+	Reason          string        `json:"reason,omitempty"`
+	BudgetRemaining float64       `json:"budgetRemaining"`
+}
+
+// commonStrings interns the strategy vocabulary every request carries, so
+// decoding {"strategy":"clone"} never allocates regardless of the caller's
+// Interner. Keys and values are the same constant, so an interned result is
+// always byte-identical to the input.
+var commonStrings = map[string]string{}
+
+func init() {
+	for _, s := range []string{
+		"best", "Best", "BEST",
+		"Clone", "clone", "CLONE",
+		"Speculative-Restart", "speculative-restart", "restart", "s-restart",
+		"Speculative-Resume", "speculative-resume", "resume", "s-resume",
+		"Hadoop-NS", "hadoop-ns", "hadoopns",
+		"Hadoop-S", "hadoop-s", "hadoops",
+		"Mantri", "mantri",
+		"LATE", "late", "Late",
+	} {
+		commonStrings[s] = s
+	}
+}

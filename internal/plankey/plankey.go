@@ -7,7 +7,7 @@
 package plankey
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"chronos"
@@ -21,9 +21,26 @@ import (
 // perturbations. strategy is the canonical strategy component from
 // CanonicalStrategy ("" for best-of-three planning).
 func Key(strategy string, p chronos.JobParams, e chronos.Econ) string {
-	return fmt.Sprintf("%s|%d|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g",
-		strategy, p.Tasks, p.Deadline, p.TMin, p.Beta, p.TauEst, p.TauKill,
-		p.PhiEst, e.Theta, e.UnitPrice, e.RMin)
+	return string(AppendKey(nil, strategy, p, e))
+}
+
+// AppendKey appends the plan key to dst and returns the extended slice —
+// Key for the serving hot path, which reuses a pooled buffer instead of
+// allocating a string per request. The output is byte-identical to Key
+// (historically fmt.Sprintf with %.6g), which persisted cache dumps and
+// fleet-wide ring placement both depend on.
+func AppendKey(dst []byte, strategy string, p chronos.JobParams, e chronos.Econ) []byte {
+	dst = append(dst, strategy...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(p.Tasks), 10)
+	for _, f := range [...]float64{p.Deadline, p.TMin, p.Beta, p.TauEst,
+		p.TauKill, p.PhiEst, e.Theta, e.UnitPrice, e.RMin} {
+		dst = append(dst, '|')
+		// strconv's 'g' with precision 6 is exactly fmt's %.6g; fmt itself
+		// defers to this call for float verbs.
+		dst = strconv.AppendFloat(dst, f, 'g', 6, 64)
+	}
+	return dst
 }
 
 // CanonicalStrategy maps a request's strategy selector — empty or "best"

@@ -1,6 +1,9 @@
 package plankey
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 
 	"chronos"
@@ -47,5 +50,52 @@ func TestCanonicalStrategy(t *testing.T) {
 		if got != c.want || ok != c.ok {
 			t.Errorf("CanonicalStrategy(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
 		}
+	}
+}
+
+// TestAppendKeyMatchesHistoricalFormat pins AppendKey to the fmt.Sprintf
+// %.6g format Key used before the hot path stopped allocating. Persisted
+// cache dumps and ring placement depend on the bytes never changing.
+func TestAppendKeyMatchesHistoricalFormat(t *testing.T) {
+	legacy := func(strategy string, p chronos.JobParams, e chronos.Econ) string {
+		return fmt.Sprintf("%s|%d|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g|%.6g",
+			strategy, p.Tasks, p.Deadline, p.TMin, p.Beta, p.TauEst, p.TauKill,
+			p.PhiEst, e.Theta, e.UnitPrice, e.RMin)
+	}
+	rng := rand.New(rand.NewSource(8))
+	floats := []float64{0, -0.0 * 1, 1, -1, 0.1, 1e-9, 1e21, 123456.789,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1), math.NaN(),
+		1.0 / 3.0, 6.62607e-34}
+	pick := func() float64 {
+		if rng.Intn(3) == 0 {
+			return floats[rng.Intn(len(floats))]
+		}
+		return math.Float64frombits(rng.Uint64())
+	}
+	for i := 0; i < 5000; i++ {
+		p := chronos.JobParams{
+			Tasks: rng.Intn(1 << 20), Deadline: pick(), TMin: pick(), Beta: pick(),
+			TauEst: pick(), TauKill: pick(), PhiEst: pick(),
+		}
+		e := chronos.Econ{Theta: pick(), UnitPrice: pick(), RMin: pick()}
+		strategy := []string{"", "Clone", "Speculative-Resume"}[rng.Intn(3)]
+		want := legacy(strategy, p, e)
+		if got := Key(strategy, p, e); got != want {
+			t.Fatalf("Key diverged from historical format:\nwant %q\ngot  %q (params %+v econ %+v)", want, got, p, e)
+		}
+		if got := string(AppendKey([]byte("prefix"), strategy, p, e)); got != "prefix"+want {
+			t.Fatalf("AppendKey with prefix diverged: %q", got)
+		}
+	}
+}
+
+func TestAppendKeyZeroAlloc(t *testing.T) {
+	p := chronos.JobParams{Tasks: 20, Deadline: 100, TMin: 10, Beta: 1.5, TauEst: 30, TauKill: 60}
+	e := chronos.Econ{Theta: 1e-4, UnitPrice: 1}
+	buf := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = AppendKey(buf[:0], "Clone", p, e)
+	}); avg != 0 {
+		t.Fatalf("AppendKey allocates %.1f times per op", avg)
 	}
 }

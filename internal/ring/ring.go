@@ -12,9 +12,16 @@
 package ring
 
 import (
-	"hash/fnv"
 	"sort"
 	"strconv"
+)
+
+// FNV-1a parameters, inlined: hash/fnv's New64a hands back its state behind
+// an interface, which makes every Owner lookup allocate. The inlined loops
+// produce bit-identical hashes, so placement is unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
 // DefaultVirtualNodes is the per-member virtual-node count used when New is
@@ -46,9 +53,21 @@ type point struct {
 // inputs like "host:8080#17", which skews arc widths badly; the
 // MurmurHash3-style fmix64 finalizer restores full avalanche.
 func hash64(key string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return fmix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return fmix64(h)
+}
+
+func hash64Bytes(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return fmix64(h)
 }
 
 // fmix64 is the MurmurHash3 64-bit finalizer: a bijective mixer with full
@@ -66,11 +85,17 @@ func fmix64(x uint64) uint64 {
 // NUL separator keeps distinct (key, node) pairs from concatenating to the
 // same bytes.
 func rendezvousScore(key, node string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(node))
-	return fmix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // NUL separator: h ^= 0 is a no-op
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= fnvPrime64
+	}
+	return fmix64(h)
 }
 
 // New builds a ring over nodes with the given virtual-node count per member
@@ -106,9 +131,7 @@ func New(nodes []string, virtualNodes int) *Ring {
 			buf = append(buf, n...)
 			buf = append(buf, '#')
 			buf = strconv.AppendInt(buf, int64(i), 10)
-			h := fnv.New64a()
-			_, _ = h.Write(buf)
-			r.points = append(r.points, point{hash: fmix64(h.Sum64()), node: n})
+			r.points = append(r.points, point{hash: hash64Bytes(buf), node: n})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -136,26 +159,50 @@ func (r *Ring) Owner(key string) (owner string, ok bool) {
 	if len(r.points) == 0 {
 		return "", false
 	}
-	h := hash64(key)
-	idx := sort.Search(len(r.points), func(i int) bool {
+	idx, end := r.span(hash64(key))
+	if end == idx {
+		return r.points[idx].node, true
+	}
+	return r.breakTie(key, idx, end), true
+}
+
+// OwnerBytes is Owner for a key still sitting in a pooled request buffer.
+// It allocates nothing on the common path; the string form of the key is
+// materialized only inside the astronomically rare collision tie-break.
+func (r *Ring) OwnerBytes(key []byte) (owner string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	idx, end := r.span(hash64Bytes(key))
+	if end == idx {
+		return r.points[idx].node, true
+	}
+	return r.breakTie(string(key), idx, end), true
+}
+
+// span locates the owning virtual point for hash h and extends across any
+// colliding points at the same circle position, returning the [idx, end]
+// index range (end == idx in the no-collision common case).
+func (r *Ring) span(h uint64) (idx, end int) {
+	idx = sort.Search(len(r.points), func(i int) bool {
 		return r.points[i].hash >= h
 	})
 	if idx == len(r.points) {
 		idx = 0 // wrap: keys past the last point belong to the first
 	}
-	p := r.points[idx]
-	// Collisions — distinct members' virtual points at the same circle
-	// position — are broken per key by rendezvous hashing, so ownership of
-	// the contested arc is split deterministically instead of granted to
-	// the lexicographically first member.
-	end := idx
-	for end+1 < len(r.points) && r.points[end+1].hash == p.hash {
+	end = idx
+	for end+1 < len(r.points) && r.points[end+1].hash == r.points[end].hash {
 		end++
 	}
-	if end == idx {
-		return p.node, true
-	}
-	best, bestScore := p.node, rendezvousScore(key, p.node)
+	return idx, end
+}
+
+// breakTie resolves a collision span — distinct members' virtual points at
+// the same circle position — by rendezvous hashing, so ownership of the
+// contested arc is split deterministically per key instead of granted to
+// the lexicographically first member.
+func (r *Ring) breakTie(key string, idx, end int) string {
+	best, bestScore := r.points[idx].node, rendezvousScore(key, r.points[idx].node)
 	for i := idx + 1; i <= end; i++ {
 		n := r.points[i].node
 		if n == best {
@@ -165,7 +212,7 @@ func (r *Ring) Owner(key string) (owner string, ok bool) {
 			best, bestScore = n, sc
 		}
 	}
-	return best, true
+	return best
 }
 
 // OwnedFraction returns the fraction of the 64-bit keyspace owned by node:

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"chronos"
+	"chronos/internal/hotjson"
 	"chronos/internal/obs"
 	"chronos/internal/optimize"
+	"chronos/internal/plankey"
 	"chronos/internal/tenant"
 )
 
@@ -31,41 +33,29 @@ const (
 // the shrunken ledger instead of over-committing it.
 const admitDebitRetries = 3
 
-// admitRequest asks for an online admission decision: can this tenant
-// afford a feasible speculation plan for the arriving job?
-type admitRequest struct {
-	// Tenant names the budget pool to admit against. Required.
-	Tenant string `json:"tenant"`
-	// Job parameterizes the arriving job.
-	Job chronos.JobParams `json:"job"`
-	// Strategy optionally pins one Chronos strategy; empty or "best"
-	// optimizes all three.
-	Strategy string `json:"strategy,omitempty"`
-	// Econ overrides the tenant's planning defaults field by field; zero
-	// fields fall back to the pool's theta, unit price, and RMin.
-	Econ chronos.Econ `json:"econ,omitempty"`
-}
-
-type admitResponse struct {
-	Admitted bool   `json:"admitted"`
-	Tenant   string `json:"tenant"`
-	// Plan is the admitted speculation plan, already debited from the
-	// pool. Absent on rejection.
-	Plan *chronos.Plan `json:"plan,omitempty"`
-	// Reason is the structured rejection reason (ReasonBudgetExhausted or
-	// ReasonInfeasible). Absent on admission.
-	Reason string `json:"reason,omitempty"`
-	// BudgetRemaining is the pool's machine-time level after the decision.
-	BudgetRemaining float64 `json:"budgetRemaining"`
-}
+// admitRequest asks for an online admission decision (can this tenant
+// afford a feasible speculation plan for the arriving job?); admitResponse
+// answers it. Both are served by the reflection-free internal/hotjson codec,
+// so the wire structs live there and the handlers alias them.
+type (
+	admitRequest  = hotjson.AdmitRequest
+	admitResponse = hotjson.AdmitResponse
+)
 
 // handleAdmit serves POST /v1/admit: accept/reject + plan in one round
 // trip, the paper's online setting. The optimizer runs against the tenant's
 // remaining budget; an accepted plan is debited atomically, a rejection
 // carries a structured reason.
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
-	var req admitRequest
-	if !decode(w, r, &req) {
+	hb := getHotBuf()
+	defer putHotBuf(hb)
+	var ok bool
+	if hb.in, ok = s.readBody(w, r, hb.in); !ok {
+		return
+	}
+	req := &hb.admitReq
+	if err := hotjson.DecodeAdmitRequest(hb.in, req, s); err != nil {
+		s.apiError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	tr := obs.FromContext(r.Context())
@@ -76,7 +66,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	strat, best, ok := keyStrategy(req.Strategy)
 	if !ok {
-		apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		s.apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
 	econ := tenantEcon(req.Econ, pool)
@@ -88,17 +78,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// identically.
 	req.Econ = econ
 	qStart := time.Now()
-	key := planKey(cacheStrategyName(strat, best), req.Job, econ)
+	hb.key = plankey.AppendKey(hb.key[:0], cacheStrategyName(strat, best), req.Job, econ)
 	tr.Observe(obs.StageQuantize, time.Since(qStart))
-	if s.forwardToOwner(w, r, "/v1/admit", key, req) {
+	if s.forwardToOwner(w, r, "/v1/admit", hb.key, req) {
 		return
-	}
-
-	reject := func(reason string, remaining float64) {
-		s.metrics.tenantReject(req.Tenant, reason)
-		writeJSON(w, http.StatusOK, admitResponse{
-			Tenant: req.Tenant, Reason: reason, BudgetRemaining: remaining,
-		})
 	}
 
 	// The debit target: the raw pool in the legacy per-replica mode, the
@@ -107,13 +90,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	bud := s.tenantBudget(r.Context(), req.Tenant, pool)
 	for attempt := 0; attempt < admitDebitRetries; attempt++ {
 		remaining := bud.Remaining()
-		plan, err := s.planWithinBudget(tr, key, strat, best, req.Job, econ, remaining)
+		plan, err := s.planWithinBudget(tr, hb.key, strat, best, req.Job, econ, remaining)
 		if err != nil {
 			if reason := rejectReason(err); reason != "" {
-				reject(reason, remaining)
+				s.rejectAdmit(w, r, hb, reason, remaining)
 				return
 			}
-			apiError(w, r, planStatus(err), "%v", err)
+			s.apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 		dStart := time.Now()
@@ -122,15 +105,27 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			s.metrics.planServed(plan.Strategy.String())
 			s.metrics.tenantAdmit(req.Tenant, plan.Strategy.String())
-			writeJSON(w, http.StatusOK, admitResponse{
-				Admitted: true, Tenant: req.Tenant, Plan: &plan, BudgetRemaining: rem,
-			})
+			hb.plan = plan
+			hb.admitResp = admitResponse{
+				Admitted: true, Tenant: req.Tenant, Plan: &hb.plan, BudgetRemaining: rem,
+			}
+			s.writeAdmitResponse(w, r, hb)
 			return
 		}
 		// A concurrent admit drained the snapshot we planned against;
 		// re-plan against the new level.
 	}
-	reject(ReasonBudgetExhausted, bud.Remaining())
+	s.rejectAdmit(w, r, hb, ReasonBudgetExhausted, bud.Remaining())
+}
+
+// rejectAdmit answers one /v1/admit rejection: counted per tenant and
+// reason, 200 with the structured decision payload.
+func (s *Server) rejectAdmit(w http.ResponseWriter, r *http.Request, hb *hotBuf, reason string, remaining float64) {
+	s.metrics.tenantReject(hb.admitReq.Tenant, reason)
+	hb.admitResp = admitResponse{
+		Tenant: hb.admitReq.Tenant, Reason: reason, BudgetRemaining: remaining,
+	}
+	s.writeAdmitResponse(w, r, hb)
 }
 
 // cachedPlan returns the unconstrained optimal plan for one job,
@@ -156,6 +151,25 @@ func (s *Server) cachedPlanKeyed(tr *obs.Trace, key string, strat chronos.Strate
 	if hit {
 		return plan, true, nil
 	}
+	return s.solveAndCache(tr, key, strat, best, job, econ)
+}
+
+// cachedPlanKeyedBytes is cachedPlanKeyed for the hot handlers, whose key
+// still lives in the pooled request buffer: a cache hit probes the shard map
+// without materializing the key string, so the hot path allocates nothing.
+func (s *Server) cachedPlanKeyedBytes(tr *obs.Trace, key []byte, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
+	cStart := time.Now()
+	plan, hit := s.cache.getBytes(key)
+	tr.Observe(obs.StageCache, time.Since(cStart))
+	if hit {
+		return plan, true, nil
+	}
+	return s.solveAndCache(tr, string(key), strat, best, job, econ)
+}
+
+// solveAndCache runs the unconstrained solve on a cache miss and populates
+// the cache.
+func (s *Server) solveAndCache(tr *obs.Trace, key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
 	sStart := time.Now()
 	if best {
 		plan, err = chronos.OptimizeBest(job, econ)
@@ -173,25 +187,44 @@ func (s *Server) cachedPlanKeyed(tr *obs.Trace, key string, strat chronos.Strate
 // planWithinBudget returns the best plan whose expected machine time fits
 // budget. The unconstrained optimum is looked up in (and populates) the
 // plan cache under the caller's precomputed key — squeezed plans depend on
-// the transient ledger level and are never cached.
-func (s *Server) planWithinBudget(tr *obs.Trace, key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
-	plan, _, err := s.cachedPlanKeyed(tr, key, strat, best, job, econ)
+// the transient ledger level and are never cached. What is cached, attached
+// to the same entry, is the cell's precomputed feasibility frontier
+// (chronos.BudgetFrontier): the first budget-squeezed admit in a cell pays
+// the bisection and window scan once, and every later squeeze in the warm
+// cell answers from the table with no model evaluations (and, on the admit
+// path, no allocation).
+func (s *Server) planWithinBudget(tr *obs.Trace, key []byte, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ, budget float64) (chronos.Plan, error) {
+	plan, _, err := s.cachedPlanKeyedBytes(tr, key, strat, best, job, econ)
 	if err != nil {
 		return chronos.Plan{}, err
 	}
 	if plan.MachineTime <= budget {
 		return plan, nil
 	}
-	// The capped solve re-derives the unconstrained optimum internally (one
-	// extra memoized solve per strategy). Accepted: this branch only runs
-	// when the pool is nearly drained, where correctness of the squeeze
-	// matters and throughput does not.
 	sStart := time.Now()
 	defer func() { tr.Observe(obs.StageSolve, time.Since(sStart)) }()
-	if best {
-		return chronos.OptimizeBestWithinBudget(job, econ, budget)
+	if bf := s.cache.frontierBytes(key); bf != nil {
+		return bf.PlanWithinBudget(budget)
 	}
-	return chronos.OptimizeWithinBudget(strat, job, econ, budget)
+	var bf *chronos.BudgetFrontier
+	var ferr error
+	if best {
+		bf, ferr = chronos.NewBudgetFrontierBest(job, econ)
+	} else {
+		bf, ferr = chronos.NewBudgetFrontier(strat, job, econ)
+	}
+	if ferr != nil {
+		// Unreachable after a successful unconstrained solve for the same
+		// cell (construction fails only on budget-independent grounds), but
+		// fall back to the direct capped solve so behavior is identical even
+		// for, say, a corrupted persisted cache entry.
+		if best {
+			return chronos.OptimizeBestWithinBudget(job, econ, budget)
+		}
+		return chronos.OptimizeWithinBudget(strat, job, econ, budget)
+	}
+	s.cache.setFrontier(string(key), bf)
+	return bf.PlanWithinBudget(budget)
 }
 
 // rejectBudget answers a tenant-routed /v1/plan or /v1/plan/batch whose
@@ -208,7 +241,7 @@ func (s *Server) rejectBudget(w http.ResponseWriter, r *http.Request, tenantName
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		resp.TraceID = tr.ID
 	}
-	writeJSON(w, http.StatusTooManyRequests, resp)
+	s.writeJSON(w, r, http.StatusTooManyRequests, resp)
 }
 
 // rejectReason maps optimization failures onto the admission-control
@@ -228,17 +261,17 @@ func rejectReason(err error) string {
 // HTTP error on failure.
 func (s *Server) lookupPool(w http.ResponseWriter, r *http.Request, name string) (*tenant.Pool, bool) {
 	if name == "" {
-		apiError(w, r, http.StatusBadRequest, "tenant is required")
+		s.apiError(w, r, http.StatusBadRequest, "tenant is required")
 		return nil, false
 	}
 	reg := s.tenants.Load()
 	if reg.Len() == 0 {
-		apiError(w, r, http.StatusNotFound, "no tenant pools configured")
+		s.apiError(w, r, http.StatusNotFound, "no tenant pools configured")
 		return nil, false
 	}
 	pool := reg.Get(name)
 	if pool == nil {
-		apiError(w, r, http.StatusNotFound, "unknown tenant %q", name)
+		s.apiError(w, r, http.StatusNotFound, "unknown tenant %q", name)
 		return nil, false
 	}
 	return pool, true

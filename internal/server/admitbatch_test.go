@@ -1,0 +1,258 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"chronos"
+)
+
+func TestAdmitBatchEndpoint(t *testing.T) {
+	mt := bestPlanMachineTime(t)
+	r0, err := chronos.ExpectedMachineTime(chronos.Clone, testJob(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two optimal plans plus change that cannot cover a third even at r=0:
+	// a 6-job batch must admit the front of the queue and reject the tail.
+	budget := 2*mt + r0/2
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t, "etl", budget)})
+
+	jobs := make([]admitBatchJob, 6)
+	for i := range jobs {
+		jobs[i] = admitBatchJob{Job: testJob()}
+	}
+	got := decodeBody[admitBatchResponse](t, postJSON(t, ts.URL+"/v1/admit/batch",
+		admitBatchRequest{Tenant: "etl", Jobs: jobs, Econ: testEcon()}))
+
+	if got.Tenant != "etl" {
+		t.Fatalf("tenant = %q, want etl", got.Tenant)
+	}
+	if len(got.Results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(got.Results), len(jobs))
+	}
+	var admitted float64
+	admits := 0
+	sawReject := false
+	for i, res := range got.Results {
+		if res.Admitted {
+			if sawReject {
+				t.Errorf("job %d admitted after an earlier budget rejection; "+
+					"in-order allocation should drain monotonically", i)
+			}
+			if res.Plan == nil {
+				t.Fatalf("job %d admitted without a plan", i)
+			}
+			admitted += res.Plan.MachineTime
+			admits++
+			continue
+		}
+		sawReject = true
+		if res.Reason != ReasonBudgetExhausted {
+			t.Errorf("job %d rejected with reason %q, want %q", i, res.Reason, ReasonBudgetExhausted)
+		}
+		if res.Plan != nil {
+			t.Errorf("job %d rejection carried a plan", i)
+		}
+	}
+	if admits < 2 {
+		t.Fatalf("only %d of %d jobs admitted; budget covers at least 2", admits, len(jobs))
+	}
+	if !sawReject {
+		t.Fatal("no job rejected; the batch never saturated the budget")
+	}
+	if got.Admitted != admits {
+		t.Errorf("Admitted = %d, want %d", got.Admitted, admits)
+	}
+	if admitted > budget*(1+1e-9) {
+		t.Fatalf("over-commit: batch admitted %v machine-seconds from a budget of %v", admitted, budget)
+	}
+	if got.BudgetRemaining < 0 {
+		t.Errorf("budgetRemaining went negative: %v", got.BudgetRemaining)
+	}
+	if diff := admitted + got.BudgetRemaining - budget; diff > 1e-5 || diff < -1e-5 {
+		t.Errorf("ledger leak: admitted %v + remaining %v != budget %v",
+			admitted, got.BudgetRemaining, budget)
+	}
+}
+
+func TestAdmitBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t, "etl", 1e6)})
+	wantStatus := func(t *testing.T, req admitBatchRequest, want int) {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/admit/batch", req)
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("status = %d, want %d", resp.StatusCode, want)
+		}
+	}
+
+	t.Run("missing tenant", func(t *testing.T) {
+		wantStatus(t, admitBatchRequest{Jobs: []admitBatchJob{{Job: testJob()}}, Econ: testEcon()},
+			http.StatusBadRequest)
+	})
+	t.Run("unknown tenant", func(t *testing.T) {
+		wantStatus(t, admitBatchRequest{Tenant: "nope", Jobs: []admitBatchJob{{Job: testJob()}}},
+			http.StatusNotFound)
+	})
+	t.Run("empty batch", func(t *testing.T) {
+		wantStatus(t, admitBatchRequest{Tenant: "etl"}, http.StatusBadRequest)
+	})
+	t.Run("unknown strategy", func(t *testing.T) {
+		wantStatus(t, admitBatchRequest{
+			Tenant: "etl",
+			Jobs:   []admitBatchJob{{Job: testJob()}, {Job: testJob(), Strategy: "dolly"}},
+		}, http.StatusBadRequest)
+	})
+	t.Run("over the batch limit", func(t *testing.T) {
+		srv, small := newTestServer(t, Config{
+			Tenants: testRegistry(t, "etl", 1e6), MaxBatchJobs: 2,
+		})
+		_ = srv
+		jobs := []admitBatchJob{{Job: testJob()}, {Job: testJob()}, {Job: testJob()}}
+		resp := postJSON(t, small.URL+"/v1/admit/batch",
+			admitBatchRequest{Tenant: "etl", Jobs: jobs, Econ: testEcon()})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// TestAdmitBatchInfeasibleMixed: per-job infeasibility is a per-item
+// rejection, not a whole-request failure, and does not block admissible
+// neighbors.
+func TestAdmitBatchInfeasibleMixed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t, "etl", 1e9)})
+	// RMin 0.9 is attainable for testJob (see the pinned-jobs floor test)
+	// but far out of reach for a deadline barely above the minimum runtime.
+	econ := testEcon()
+	econ.RMin = 0.9
+	impossible := chronos.JobParams{
+		Tasks: 10, Deadline: 10.5, TMin: 10, Beta: 1.5, TauEst: 3, TauKill: 6,
+	}
+	got := decodeBody[admitBatchResponse](t, postJSON(t, ts.URL+"/v1/admit/batch",
+		admitBatchRequest{
+			Tenant: "etl",
+			Jobs:   []admitBatchJob{{Job: impossible}, {Job: testJob()}},
+			Econ:   econ,
+		}))
+	if got.Results[0].Admitted || got.Results[0].Reason != ReasonInfeasible {
+		t.Errorf("impossible job: admitted=%v reason=%q, want rejection with %q",
+			got.Results[0].Admitted, got.Results[0].Reason, ReasonInfeasible)
+	}
+	if !got.Results[1].Admitted {
+		t.Errorf("feasible neighbor rejected (%q)", got.Results[1].Reason)
+	}
+	if got.Admitted != 1 {
+		t.Errorf("Admitted = %d, want 1", got.Admitted)
+	}
+}
+
+// TestAdmitBatchSingleLeaseDebit is the batched-admission acceptance
+// property: on a lease-holding (non-owner) replica of an escrow fleet, a
+// whole batch settles against the tenant lease in ONE successful CAS —
+// Lease.Debits() advances by the number of batches, not the number of
+// admitted jobs. Run under -race this also exercises concurrent batches
+// contending on the same lease.
+func TestAdmitBatchSingleLeaseDebit(t *testing.T) {
+	mt := bestPlanMachineTime(t)
+	budget := 200 * mt // generous: every job in every batch admits
+	servers, urls := escrowFleet(t, 3, "etl", budget)
+
+	// Pick a replica that does NOT own the tenant: its admissions go through
+	// the holder-side lease, which is where batching collapses the CAS count.
+	holder := -1
+	for i, s := range servers {
+		if !s.escrow.ownsTenant("etl") {
+			holder = i
+			break
+		}
+	}
+	if holder < 0 {
+		t.Fatal("every replica claims to own the tenant; ring is degenerate")
+	}
+
+	const batches = 6
+	const jobsPerBatch = 4
+	var (
+		mu       sync.Mutex
+		admitted int
+	)
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			jobs := make([]admitBatchJob, jobsPerBatch)
+			for i := range jobs {
+				// Distinct shapes per slot so the fan-out actually solves
+				// several cells rather than hitting one cached plan.
+				job := testJob()
+				job.Tasks = 8 + (b*jobsPerBatch+i)%7
+				jobs[i] = admitBatchJob{Job: job}
+			}
+			resp := postJSON(t, urls[holder]+"/v1/admit/batch",
+				admitBatchRequest{Tenant: "etl", Jobs: jobs, Econ: testEcon()})
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				t.Errorf("batch %d: status = %d, want 200", b, resp.StatusCode)
+				return
+			}
+			got := decodeBody[admitBatchResponse](t, resp)
+			for i, res := range got.Results {
+				if !res.Admitted {
+					t.Errorf("batch %d job %d rejected (%q) under a generous budget", b, i, res.Reason)
+				}
+			}
+			mu.Lock()
+			admitted += got.Admitted
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	if admitted != batches*jobsPerBatch {
+		t.Fatalf("admitted %d of %d jobs; the lease-debit count below is only "+
+			"meaningful when every batch settles", admitted, batches*jobsPerBatch)
+	}
+	debits := servers[holder].escrow.lease("etl").Debits()
+	if debits != batches {
+		t.Errorf("lease debits = %d for %d batches of %d jobs; "+
+			"batched admission must cost one CAS per batch, not per job",
+			debits, batches, jobsPerBatch)
+	}
+}
+
+// TestAdmitBatchResultOrder pins the wire contract the ring-aware client
+// relies on when it scatters a batch and reassembles the answers: results
+// are positional — result i is job i's unconstrained optimal plan.
+func TestAdmitBatchResultOrder(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t, "etl", 1e6)})
+	jobs := make([]admitBatchJob, 4)
+	want := make([]chronos.Plan, len(jobs))
+	for i := range jobs {
+		job := testJob()
+		job.Tasks = 8 + i
+		jobs[i] = admitBatchJob{Job: job}
+		plan, err := chronos.OptimizeBest(job, testEcon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = plan
+	}
+	got := decodeBody[admitBatchResponse](t, postJSON(t, ts.URL+"/v1/admit/batch",
+		admitBatchRequest{Tenant: "etl", Jobs: jobs, Econ: testEcon()}))
+	if len(got.Results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(got.Results), len(jobs))
+	}
+	for i, res := range got.Results {
+		if !res.Admitted {
+			t.Fatalf("job %d rejected under a huge budget: %s", i, res.Reason)
+		}
+		if *res.Plan != want[i] {
+			t.Errorf("job %d: plan %+v, want %+v — results out of order?", i, *res.Plan, want[i])
+		}
+	}
+}

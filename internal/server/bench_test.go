@@ -189,6 +189,42 @@ func BenchmarkAdmitHandlerEscrowWAL(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admits/s")
 }
 
+// BenchmarkAdmitBatchHandler measures batched admission: 16 warm-cache
+// admissions settled in one ledger debit. Compare per-job cost against
+// BenchmarkAdmitHandler to see what the batch amortizes.
+func BenchmarkAdmitBatchHandler(b *testing.B) {
+	reg, err := tenant.NewRegistry(map[string]tenant.Limits{
+		"bench": {Budget: 1e18},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Tenants: reg})
+	h := s.Handler()
+	jobs := make([]admitBatchJob, 16)
+	for i := range jobs {
+		job := testJob()
+		job.Tasks = 5 + i
+		jobs[i] = admitBatchJob{Job: job}
+	}
+	raw, err := json.Marshal(admitBatchRequest{Tenant: "bench", Jobs: jobs, Econ: testEcon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/admit/batch", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "admits/s")
+}
+
 // BenchmarkBatchHandler measures a 64-job shared-budget allocation with
 // best-of-three selection fanned out across the worker pool.
 func BenchmarkBatchHandler(b *testing.B) {

@@ -2,7 +2,6 @@ package server
 
 import (
 	"container/list"
-	"hash/fnv"
 	"strings"
 	"sync"
 
@@ -16,6 +15,31 @@ import (
 // byte-identical keys and routes straight to the owning replica.
 func planKey(strategy string, p chronos.JobParams, e chronos.Econ) string {
 	return plankey.Key(strategy, p, e)
+}
+
+// FNV-1a, inlined: hash/fnv's New64a allocates its state on every call,
+// which is the plan cache's only allocation on a hit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv1aString(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // planCache is a sharded LRU over optimized plans. Each shard has its own
@@ -39,6 +63,11 @@ type cacheShard struct {
 type cacheEntry struct {
 	key  string
 	plan chronos.Plan
+	// frontier is the cell's precomputed capped-solve table, attached
+	// lazily by the first budget-squeezed admit against this entry; later
+	// squeezes in the warm cell skip the feasibility bisection entirely.
+	// Guarded by the shard mutex like the rest of the entry.
+	frontier *chronos.BudgetFrontier
 }
 
 // newPlanCache builds a cache with the given shard count (rounded up to a
@@ -68,9 +97,7 @@ func newPlanCache(shards, capacity int) *planCache {
 }
 
 func (c *planCache) shard(key string) *cacheShard {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return &c.shards[h.Sum64()&c.mask]
+	return &c.shards[fnv1aString(key)&c.mask]
 }
 
 // get returns the cached plan for key and marks it most recently used.
@@ -89,6 +116,58 @@ func (c *planCache) get(key string) (chronos.Plan, bool) {
 	s.order.MoveToFront(el)
 	c.hits.Inc()
 	return el.Value.(*cacheEntry).plan, true
+}
+
+// getBytes is get for a key still in its pooled request buffer: the
+// string(key) map probe does not allocate, so a cache hit costs no heap.
+func (c *planCache) getBytes(key []byte) (chronos.Plan, bool) {
+	if c == nil {
+		return chronos.Plan{}, false
+	}
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[string(key)]
+	if !ok {
+		c.misses.Inc()
+		return chronos.Plan{}, false
+	}
+	s.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// frontierBytes returns the entry's precomputed capped-solve table, nil
+// when the key is cold or no squeeze has built one yet. Does not touch
+// recency or hit counters: every caller just did a getBytes for the same
+// key.
+func (c *planCache) frontierBytes(key []byte) *chronos.BudgetFrontier {
+	if c == nil {
+		return nil
+	}
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[string(key)]; ok {
+		return el.Value.(*cacheEntry).frontier
+	}
+	return nil
+}
+
+// setFrontier attaches a capped-solve table to the key's entry, if the key
+// is still cached (an evicted entry simply drops the table). Concurrent
+// squeezes may race to build the same table; both are correct, last one
+// wins.
+func (c *planCache) setFrontier(key string, f *chronos.BudgetFrontier) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).frontier = f
+	}
 }
 
 // put inserts or refreshes key, evicting the shard's least recently used

@@ -312,11 +312,11 @@ var (
 // two owners.
 func (s *Server) handleEscrowLease(w http.ResponseWriter, r *http.Request) {
 	if s.escrow == nil {
-		apiError(w, r, http.StatusNotFound, "escrow accounting is not enabled")
+		s.apiError(w, r, http.StatusNotFound, "escrow accounting is not enabled")
 		return
 	}
 	var req escrowLeaseRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tr := obs.FromContext(r.Context())
@@ -325,20 +325,20 @@ func (s *Server) handleEscrowLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.escrow.ownsTenant(req.Tenant) {
-		writeError(w, r, http.StatusConflict, codeNotOwner,
+		s.writeError(w, r, http.StatusConflict, codeNotOwner,
 			"this replica does not own tenant %q", req.Tenant)
 		return
 	}
 	granted, remaining, err := s.escrow.led.Grant(
 		req.Tenant, req.Holder, req.Spent, req.Want, req.Release)
 	if err != nil {
-		apiError(w, r, http.StatusBadRequest, "%v", err)
+		s.apiError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if granted > 0 {
 		s.metrics.escrowCount(s.metrics.escrowGrants, req.Tenant)
 	}
-	writeJSON(w, http.StatusOK, escrowLeaseResponse{
+	s.writeJSON(w, r, http.StatusOK, escrowLeaseResponse{
 		Granted:       granted,
 		PoolRemaining: remaining,
 		TTLMillis:     s.escrow.led.TTL().Milliseconds(),

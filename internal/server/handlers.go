@@ -10,35 +10,23 @@ import (
 	"time"
 
 	"chronos"
+	"chronos/internal/hotjson"
 	"chronos/internal/obs"
 	"chronos/internal/optimize"
+	"chronos/internal/plankey"
 	"chronos/internal/tenant"
 )
 
 // --- wire types -----------------------------------------------------------
 
-// planRequest asks for one job's optimal speculation plan.
-type planRequest struct {
-	// Job and Econ parameterize the optimization.
-	Job  chronos.JobParams `json:"job"`
-	Econ chronos.Econ      `json:"econ"`
-	// Strategy optionally pins one Chronos strategy; empty or "best"
-	// optimizes all three and returns the utility winner.
-	Strategy string `json:"strategy,omitempty"`
-	// Tenant optionally routes the plan through a named budget pool: zero
-	// econ fields take the tenant's defaults and the plan's machine time
-	// is debited from the pool's ledger (429 when it cannot cover it).
-	Tenant string `json:"tenant,omitempty"`
-}
-
-type planResponse struct {
-	Plan chronos.Plan `json:"plan"`
-	// Cached reports whether the plan came from the sharded plan cache.
-	Cached bool `json:"cached"`
-	// BudgetRemaining is the tenant pool's post-debit level; present only
-	// for tenant-routed requests.
-	BudgetRemaining *float64 `json:"budgetRemaining,omitempty"`
-}
+// planRequest asks for one job's optimal speculation plan; planResponse
+// answers it. Both are served by the reflection-free internal/hotjson codec
+// (fuzz-verified byte-compatible with encoding/json), so the wire structs
+// live there and the handlers alias them.
+type (
+	planRequest  = hotjson.PlanRequest
+	planResponse = hotjson.PlanResponse
+)
 
 // batchJobRequest is one member of a shared-budget batch.
 type batchJobRequest struct {
@@ -175,15 +163,9 @@ func errorCodeForStatus(status int) string {
 
 // --- helpers --------------------------------------------------------------
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
 // writeError emits the unified error envelope with an explicit code; the
 // trace ID comes from the request context (empty for untraced callers).
-func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
 	resp := errorResponse{
 		Error: fmt.Sprintf(format, args...),
 		Code:  code,
@@ -191,25 +173,25 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, code, format
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		resp.TraceID = tr.ID
 	}
-	writeJSON(w, status, resp)
+	s.writeJSON(w, r, status, resp)
 }
 
 // apiError is writeError with the code derived from the status.
-func apiError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
-	writeError(w, r, status, errorCodeForStatus(status), format, args...)
+func (s *Server) apiError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	s.writeError(w, r, status, errorCodeForStatus(status), format, args...)
 }
 
 // decode parses the JSON body, writing 413 for oversize bodies (the
 // middleware installs http.MaxBytesReader) and 400 for malformed JSON.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			apiError(w, r, http.StatusRequestEntityTooLarge,
+			s.apiError(w, r, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
-		apiError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
+		s.apiError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
 		return false
 	}
 	return true
@@ -248,16 +230,25 @@ func finitePtr(x float64) *float64 {
 // handlePlan serves POST /v1/plan: the per-arrival planning hot path. The
 // sharded cache short-circuits repeated requests for quantization-equal
 // jobs. Tenant-routed requests additionally debit the plan's machine time
-// from the named pool, with 429 when the ledger cannot cover it.
+// from the named pool, with 429 when the ledger cannot cover it. The whole
+// path — body read, hotjson decode, key build, cache probe, encode, write —
+// runs on one pooled hotBuf and allocates nothing on a cache hit.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	var req planRequest
-	if !decode(w, r, &req) {
+	hb := getHotBuf()
+	defer putHotBuf(hb)
+	var ok bool
+	if hb.in, ok = s.readBody(w, r, hb.in); !ok {
+		return
+	}
+	req := &hb.planReq
+	if err := hotjson.DecodePlanRequest(hb.in, req, s); err != nil {
+		s.apiError(w, r, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	tr := obs.FromContext(r.Context())
 	strat, best, ok := keyStrategy(req.Strategy)
 	if !ok {
-		apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		s.apiError(w, r, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
 	var pool *tenant.Pool
@@ -273,18 +264,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// overlapping. The forwarded request carries the tenant-filled econ, so
 	// the owner's cache key matches this routing decision.
 	qStart := time.Now()
-	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+	hb.key = plankey.AppendKey(hb.key[:0], cacheStrategyName(strat, best), req.Job, req.Econ)
 	tr.Observe(obs.StageQuantize, time.Since(qStart))
-	if s.forwardToOwner(w, r, "/v1/plan", key, req) {
+	if s.forwardToOwner(w, r, "/v1/plan", hb.key, req) {
 		return
 	}
-	plan, cached, err := s.cachedPlanKeyed(tr, key, strat, best, req.Job, req.Econ)
+	plan, cached, err := s.cachedPlanKeyedBytes(tr, hb.key, strat, best, req.Job, req.Econ)
 	if err != nil {
-		apiError(w, r, planStatus(err), "%v", err)
+		s.apiError(w, r, planStatus(err), "%v", err)
 		return
 	}
 	tr.SetCached(cached)
-	resp := planResponse{Plan: plan, Cached: cached}
+	resp := &hb.planResp
+	*resp = planResponse{Plan: plan, Cached: cached}
 	if pool != nil {
 		bud := s.tenantBudget(r.Context(), req.Tenant, pool)
 		dStart := time.Now()
@@ -297,10 +289,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.tenantAdmit(req.Tenant, plan.Strategy.String())
-		resp.BudgetRemaining = &rem
+		hb.rem = rem
+		resp.BudgetRemaining = &hb.rem
 	}
 	s.metrics.planServed(plan.Strategy.String())
-	writeJSON(w, http.StatusOK, resp)
+	out, err := hotjson.AppendPlanResponse(hb.out[:0], resp)
+	if err != nil {
+		s.encodeFailed(w, r, err)
+		return
+	}
+	hb.out = out
+	writeHotBody(w, http.StatusOK, out)
 }
 
 // handleBatch serves POST /v1/plan/batch: shared-budget allocation across M
@@ -310,16 +309,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // marginal-gain allocator (optimize.BatchSolve).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tr := obs.FromContext(r.Context())
 	if len(req.Jobs) == 0 {
-		apiError(w, r, http.StatusBadRequest, "batch has no jobs")
+		s.apiError(w, r, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.MaxBatchJobs {
-		apiError(w, r, http.StatusBadRequest,
+		s.apiError(w, r, http.StatusBadRequest,
 			"batch has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxBatchJobs)
 		return
 	}
@@ -334,13 +333,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if pool == nil {
 		if !(req.Budget > 0) {
-			apiError(w, r, http.StatusBadRequest, "budget must be positive")
+			s.apiError(w, r, http.StatusBadRequest, "budget must be positive")
 			return
 		}
 	} else if req.Budget < 0 || math.IsNaN(req.Budget) {
 		// Only an omitted (zero) budget means "use the pool's remainder";
 		// a negative or NaN budget is malformed, not a full-pool grant.
-		apiError(w, r, http.StatusBadRequest,
+		s.apiError(w, r, http.StatusBadRequest,
 			"budget must be positive, or omitted for tenant-routed batches")
 		return
 	}
@@ -379,7 +378,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, err := range errs {
 		if err != nil {
-			apiError(w, r, planStatus(err), "%v", err)
+			s.apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 	}
@@ -428,7 +427,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					"tenant %q cannot cover the batch: %v", req.Tenant, err)
 				return
 			}
-			apiError(w, r, planStatus(err), "%v", err)
+			s.apiError(w, r, planStatus(err), "%v", err)
 			return
 		}
 		total = 0
@@ -478,7 +477,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.TotalMachineTime += p.MachineTime
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleTradeoff serves GET /v1/tradeoff: the PoCD/cost frontier for one
@@ -487,7 +486,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	strat, err := chronos.ParseStrategy(q.Get("strategy"))
 	if err != nil {
-		apiError(w, r, http.StatusBadRequest, "%v", err)
+		s.apiError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var params chronos.JobParams
@@ -527,17 +526,17 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 	econ.RMin = qFloat("rmin", 0)
 	maxR := qInt("maxR", 8)
 	if parseErr != nil {
-		apiError(w, r, http.StatusBadRequest, "%v", parseErr)
+		s.apiError(w, r, http.StatusBadRequest, "%v", parseErr)
 		return
 	}
 	if maxR < 0 || maxR > s.cfg.MaxTradeoffPoints {
-		apiError(w, r, http.StatusBadRequest,
+		s.apiError(w, r, http.StatusBadRequest,
 			"maxR must be in [0, %d]", s.cfg.MaxTradeoffPoints)
 		return
 	}
 	curve, err := chronos.TradeoffCurve(strat, params, econ, maxR)
 	if err != nil {
-		apiError(w, r, planStatus(err), "%v", err)
+		s.apiError(w, r, planStatus(err), "%v", err)
 		return
 	}
 	resp := tradeoffResponse{Strategy: strat, Points: make([]tradeoffPoint, len(curve))}
@@ -550,7 +549,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 			Utility:     finitePtr(pt.Utility),
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleSimulate serves POST /v1/simulate: a bounded discrete-event what-if
@@ -562,20 +561,20 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 // larger studies belong on /v1/replay or in the offline CLIs.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Jobs) == 0 {
-		apiError(w, r, http.StatusBadRequest, "simulation has no jobs")
+		s.apiError(w, r, http.StatusBadRequest, "simulation has no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.MaxSimJobs {
-		apiError(w, r, http.StatusBadRequest,
+		s.apiError(w, r, http.StatusBadRequest,
 			"simulation has %d jobs, limit %d", len(req.Jobs), s.cfg.MaxSimJobs)
 		return
 	}
 	if msg := validateSimBounds(s.cfg, req); msg != "" {
-		apiError(w, r, http.StatusBadRequest, "%s", msg)
+		s.apiError(w, r, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	report, err := chronos.SimulateContext(r.Context(), req.Config, req.Jobs)
@@ -584,10 +583,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// Client is gone; the status code is a formality.
 			return
 		}
-		apiError(w, r, http.StatusBadRequest, "%v", err)
+		s.apiError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateResponse{
+	s.writeJSON(w, r, http.StatusOK, simulateResponse{
 		Jobs:            report.Jobs,
 		PoCD:            report.PoCD,
 		MeanMachineTime: report.MeanMachineTime,
@@ -665,8 +664,8 @@ func validateSimJobs(cfg Config, jobs []chronos.SimJob, maxArrival float64, maxT
 }
 
 // handleHealthz serves GET /healthz.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.

@@ -54,6 +54,10 @@ type serverMetrics struct {
 	// guard header and were therefore computed locally.
 	ringReceivedForwards metrics.Counter
 
+	// encodeFailures counts responses whose JSON encoding failed (answered
+	// as HTTP 500 and logged at warn with the trace ID).
+	encodeFailures metrics.Counter
+
 	// Escrow series: per-tenant grants issued (owner side), lease top-ups
 	// performed (holder side), and expired-lease reclamations (owner side).
 	escrowGrants   map[string]*metrics.Counter // by tenant
@@ -482,6 +486,10 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 	fmt.Fprintln(w, "# HELP chronosd_ring_received_forwards_total Requests served under the single-hop forwarding guard.")
 	fmt.Fprintln(w, "# TYPE chronosd_ring_received_forwards_total counter")
 	fmt.Fprintf(w, "chronosd_ring_received_forwards_total %d\n", m.ringReceivedForwards.Value())
+
+	fmt.Fprintln(w, "# HELP chronosd_response_encode_failures_total Responses whose JSON encoding failed (answered as HTTP 500).")
+	fmt.Fprintln(w, "# TYPE chronosd_response_encode_failures_total counter")
+	fmt.Fprintf(w, "chronosd_response_encode_failures_total %d\n", m.encodeFailures.Value())
 
 	fmt.Fprintln(w, "# HELP chronosd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE chronosd_uptime_seconds gauge")

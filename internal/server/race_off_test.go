@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether this test binary was built with -race, which
+// instruments allocations and defeats sync.Pool reuse — allocation-count
+// assertions are only meaningful without it.
+const raceEnabled = false

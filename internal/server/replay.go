@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"chronos"
+	"chronos/internal/hotjson"
 	"chronos/internal/obs"
 	"chronos/internal/tenant"
 )
@@ -76,7 +76,7 @@ var errReplayBudget = errors.New("replay tenant budget exhausted")
 // replay promptly instead of leaving it running to completion.
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req replayRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	jobs, msg := s.resolveReplayJobs(req)
@@ -84,7 +84,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		msg = validateReplayBounds(s.cfg, req, jobs)
 	}
 	if msg != "" {
-		apiError(w, r, http.StatusBadRequest, "%s", msg)
+		s.apiError(w, r, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	tr := obs.FromContext(r.Context())
@@ -105,7 +105,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.replaySem }()
 	default:
 		w.Header().Set("Retry-After", "1")
-		apiError(w, r, http.StatusServiceUnavailable,
+		s.apiError(w, r, http.StatusServiceUnavailable,
 			"%d replays already running, limit %d", len(s.replaySem), cap(s.replaySem))
 		return
 	}
@@ -139,7 +139,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		// Complete stream, or a ledger stop already reported in-band.
 	case !stream.started:
 		// Nothing streamed yet: report as a plain HTTP error.
-		apiError(w, r, http.StatusBadRequest, "%v", err)
+		s.apiError(w, r, http.StatusBadRequest, "%v", err)
 	case r.Context().Err() != nil:
 		// Client is gone; there is no one left to tell.
 	default:
@@ -231,6 +231,10 @@ type ndjsonStream struct {
 	tr      *obs.Trace
 	started bool
 	lastSeq uint64
+	// buf is the stream's reusable encode buffer: each event is encoded by
+	// the reflection-free hotjson codec into the previous event's capacity,
+	// so a million-event replay performs no per-event allocation.
+	buf []byte
 }
 
 func (st *ndjsonStream) write(ev *chronos.ReplayEvent) error {
@@ -250,11 +254,12 @@ func (st *ndjsonStream) write(ev *chronos.ReplayEvent) error {
 		_ = st.rc.SetWriteDeadline(time.Time{})
 		st.w.WriteHeader(http.StatusOK)
 	}
-	line, err := json.Marshal(ev)
+	line, err := hotjson.AppendReplayEvent(st.buf[:0], ev)
 	if err != nil {
 		return err
 	}
 	line = append(line, '\n')
+	st.buf = line
 	if _, err := st.w.Write(line); err != nil {
 		return err
 	}

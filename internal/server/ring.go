@@ -32,6 +32,10 @@ type ringState struct {
 	ring  *ring.Ring
 	self  string
 	peers map[string]*peerState // by member URL, excluding self
+	// selfHdr is the precomputed ServedByHeader value assigned into hot
+	// responses' header maps; immutable for the ringState's lifetime, so
+	// sharing one slice across requests is safe.
+	selfHdr []string
 }
 
 // peerState carries what this replica knows about one peer: its base URL and
@@ -107,7 +111,7 @@ func (s *Server) SetRing(m ring.Membership) error {
 			cooldown:  s.cfg.BreakerCooldown,
 		}}
 	}
-	s.ringSt.Store(&ringState{ring: r, self: self, peers: peers})
+	s.ringSt.Store(&ringState{ring: r, self: self, peers: peers, selfHdr: []string{self}})
 	return nil
 }
 
@@ -132,20 +136,22 @@ func (s *Server) RingMembers() (self string, members []string) {
 // payload is the decoded request, re-marshaled for the forward so that
 // fields this replica resolved (e.g. tenant econ defaults) travel with it
 // and the owner computes the exact cache key the routing decision used.
-func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path, key string, payload any) bool {
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path string, key []byte, payload any) bool {
 	rs := s.ringSt.Load()
 	if rs == nil {
 		return false
 	}
 	// A replica that computes locally stamps itself; the proxy branch below
-	// overwrites this with the owner's stamp when the forward succeeds.
-	w.Header().Set(ServedByHeader, rs.self)
+	// overwrites this with the owner's stamp when the forward succeeds. The
+	// shared immutable slice goes straight into the header map (canonical
+	// key) so the hot path's stamp does not allocate.
+	w.Header()[ServedByHeader] = rs.selfHdr
 	if r.Header.Get(ForwardedFromHeader) != "" {
 		// Single-hop guard: this request was already forwarded once.
 		s.metrics.ringReceivedForwards.Inc()
 		return false
 	}
-	owner, ok := rs.ring.Owner(key)
+	owner, ok := rs.ring.OwnerBytes(key)
 	if !ok || owner == rs.self {
 		return false
 	}

@@ -107,6 +107,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/plan", "/v1/plan", s.handlePlan)
 	s.route("POST /v1/plan/batch", "/v1/plan/batch", s.handleBatch)
 	s.route("POST /v1/admit", "/v1/admit", s.handleAdmit)
+	s.route("POST /v1/admit/batch", "/v1/admit/batch", s.handleAdmitBatch)
 	s.route("GET /v1/tradeoff", "/v1/tradeoff", s.handleTradeoff)
 	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
 	s.route("POST /v1/replay", "/v1/replay", s.handleReplay)

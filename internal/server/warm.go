@@ -95,7 +95,7 @@ func (s *Server) loadCache() {
 func (s *Server) handleCacheOwned(w http.ResponseWriter, r *http.Request) {
 	holder := r.URL.Query().Get("holder")
 	if holder == "" {
-		apiError(w, r, http.StatusBadRequest, "holder query parameter is required")
+		s.apiError(w, r, http.StatusBadRequest, "holder query parameter is required")
 		return
 	}
 	resp := cacheOwnedResponse{Plans: []savedPlan{}}
@@ -109,7 +109,7 @@ func (s *Server) handleCacheOwned(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // WarmFromPeers bulk-fetches the plans this replica owns from every peer's

@@ -343,6 +343,10 @@ const leaseMicros = 1e6
 type Lease struct {
 	level atomic.Int64 // remaining, micro machine-seconds
 	spent atomic.Int64 // debited since the last owner report
+	// debits counts successful TryDebit calls — the lease CAS operations.
+	// Batched admission exists to collapse N per-job debits into one; the
+	// escrow fleet test reads this counter to prove it actually does.
+	debits atomic.Uint64
 }
 
 // TryDebit deducts cost if the lease covers it. Costs round up to the next
@@ -359,6 +363,7 @@ func (l *Lease) TryDebit(cost float64) (ok bool, remaining float64) {
 		}
 		if l.level.CompareAndSwap(cur, cur-c) {
 			l.spent.Add(c)
+			l.debits.Add(1)
 			return true, float64(cur-c) / leaseMicros
 		}
 	}
@@ -375,6 +380,12 @@ func (l *Lease) Fund(amount float64) {
 // Level returns the remaining lease budget.
 func (l *Lease) Level() float64 {
 	return float64(l.level.Load()) / leaseMicros
+}
+
+// Debits returns the number of successful TryDebit calls over the lease's
+// lifetime.
+func (l *Lease) Debits() uint64 {
+	return l.debits.Load()
 }
 
 // TakeSpent atomically returns and resets the spend accumulated since the

@@ -276,6 +276,15 @@ func (r *Registry) Get(name string) *Pool {
 	return r.pools[name]
 }
 
+// GetBytes is Get for a tenant name still sitting in a pooled request
+// buffer: the string(b) map probe compiles to a no-allocation lookup.
+func (r *Registry) GetBytes(b []byte) *Pool {
+	if r == nil {
+		return nil
+	}
+	return r.pools[string(b)]
+}
+
 // Pools returns every pool in name order. Safe on a nil registry.
 func (r *Registry) Pools() []*Pool {
 	if r == nil {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench-diff.sh — reports how the two most recent committed benchmark
+# snapshots (BENCH_<n>.json, numerically ordered) compare, so a PR's perf
+# story is one command instead of manual JSON spelunking. Non-blocking by
+# design: it renders a report, it does not gate — the gate lives in
+# bench-json.sh --check.
+#
+# Usage:
+#   scripts/bench-diff.sh [OLD.json NEW.json]
+#
+# With no arguments the two highest-numbered BENCH_*.json in the repo root
+# are compared. When both snapshots carry raw go-test output alongside
+# (BENCH_<n>.txt) and benchstat is installed, benchstat does the statistics;
+# otherwise the JSON summaries are diffed directly with awk — no tool
+# installation required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+old="${1:-}"
+new="${2:-}"
+if [ -z "$old" ] || [ -z "$new" ]; then
+  # Numeric sort on the PR number embedded in the filename.
+  mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+  if [ "${#snaps[@]}" -lt 2 ]; then
+    echo "bench-diff: need two committed BENCH_*.json snapshots, found ${#snaps[@]}"
+    exit 0
+  fi
+  old="${snaps[-2]}"
+  new="${snaps[-1]}"
+fi
+
+echo "== bench diff: $old -> $new =="
+
+old_txt="${old%.json}.txt"
+new_txt="${new%.json}.txt"
+if command -v benchstat >/dev/null 2>&1 && [ -f "$old_txt" ] && [ -f "$new_txt" ]; then
+  benchstat "$old_txt" "$new_txt"
+  exit 0
+fi
+if [ -f "$old_txt" ] && [ -f "$new_txt" ]; then
+  echo "(benchstat not installed; diffing the JSON summaries — raw output in $old_txt / $new_txt)"
+fi
+
+# Flatten {"entry": {"field": value}} pairs out of one snapshot.
+flatten() {
+  awk '
+    /^    "/ {
+      entry = $1; gsub(/[":]/, "", entry)
+      line = $0
+      while (match(line, /"[a-z_]+": *[0-9.]+/)) {
+        kv = substr(line, RSTART, RLENGTH)
+        line = substr(line, RSTART + RLENGTH)
+        split(kv, parts, /": */)
+        key = parts[1]; gsub(/"/, "", key)
+        print entry "." key, parts[2]
+      }
+    }' "$1"
+}
+
+join <(flatten "$old" | sort) <(flatten "$new" | sort) | awk '
+  {
+    old = $2; new = $3
+    delta = (old == 0) ? "" : sprintf("%+.1f%%", (new / old - 1) * 100)
+    printf "%-34s %14g -> %14g  %s\n", $1, old, new, delta
+  }'
+echo
+echo "ns_per_op and bytes_per_op: lower is better. *_per_sec: higher is better."
+echo "allocs_per_op is deterministic; any increase is a real regression."

@@ -1,24 +1,33 @@
 #!/usr/bin/env bash
 # bench-json.sh — runs the serving benchmarks and wraps `go test -bench`
 # output into stable JSON, so the repo carries a visible perf trajectory
-# (BENCH_<pr>.json per PR) instead of burying numbers in CI artifacts.
+# (BENCH_<pr>.json per PR) instead of burying numbers in CI artifacts. The
+# raw `go test -bench` output is kept alongside as <out>.txt — benchstat
+# food, and the ground truth the JSON summarizes.
 #
 # Usage:
-#   scripts/bench-json.sh [out.json]          write the benchmark JSON
-#   scripts/bench-json.sh --check BASELINE    rerun the cached-plan benchmark
-#                                             and fail if it regressed more
-#                                             than BENCH_TOLERANCE_PCT (10%)
-#                                             versus the committed baseline
+#   scripts/bench-json.sh [out.json]          write the benchmark JSON (+ .txt)
+#   scripts/bench-json.sh --check BASELINE    rerun the cached-plan and admit
+#                                             benchmarks and fail if ns/op
+#                                             regressed more than
+#                                             BENCH_TOLERANCE_PCT (10%) or
+#                                             allocs/op grew at all versus the
+#                                             committed baseline
 #
 # The tracked numbers: cached /v1/plan (the hot path), cold /v1/plan (full
-# three-strategy solve), /v1/admit (plan + ledger debit), escrowed /v1/admit
-# with and without WAL durability (the price of fleet-exact budgets), and
-# replay engine throughput in jobs/sec. Each benchmark runs -count times and the
-# best (minimum ns/op, maximum rate) is kept: best-of-N is the standard way
-# to cut scheduler noise out of regression gates.
+# three-strategy solve), /v1/admit (plan + ledger debit), /v1/admit/batch
+# (16 admits, one debit), escrowed /v1/admit with and without WAL durability
+# (the price of fleet-exact budgets), and replay engine throughput in
+# jobs/sec. Every benchmark runs with -benchmem, so each entry also records
+# allocs_per_op and bytes_per_op: the zero-allocation hot path is part of
+# the trajectory, not just the timings. Each benchmark runs -count times and
+# the best (minimum ns/op and allocs, maximum rate) is kept: best-of-N is
+# the standard way to cut scheduler noise out of regression gates.
 #
-# Baselines are hardware-bound: compare only numbers produced on the same
+# Timing baselines are hardware-bound: compare ns/op only on the same
 # machine class, and refresh the committed baseline when CI hardware moves.
+# Allocation counts are NOT hardware-bound — allocs/op is deterministic, so
+# the allocation gate holds with zero tolerance on any machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,7 +37,7 @@ TOLERANCE="${BENCH_TOLERANCE_PCT:-10}"
 
 # run_bench <pkg> <bench-regex> -> raw `go test -bench` output
 run_bench() {
-  go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" "$1"
+  go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -benchmem -count "$COUNT" "$1"
 }
 
 # min_ns <raw> <bench-name> -> minimum ns/op across runs. The name matches
@@ -38,11 +47,25 @@ min_ns() {
   awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {print $3}' <<<"$1" | sort -n | head -1
 }
 
+# min_unit <raw> <bench-name> <unit> -> minimum per-unit value across runs
+# (used for B/op and allocs/op, where lower is better and the columns float
+# depending on which metrics a benchmark reports)
+min_unit() {
+  awk -v name="$2" -v unit="$3" '
+    $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i }
+  ' <<<"$1" | sort -n | head -1
+}
+
 # max_metric <raw> <bench-name> <unit> -> maximum custom metric across runs
 max_metric() {
   awk -v name="$2" -v unit="$3" '
     $1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i }
   ' <<<"$1" | sort -rn | head -1
+}
+
+# base_field <baseline.json> <entry> <field> -> that entry's field, if present
+base_field() {
+  sed -n 's/.*"'"$2"'"[^}]*"'"$3"'": *\([0-9.]*\).*/\1/p' "$1" | head -1
 }
 
 check_mode=false
@@ -52,11 +75,11 @@ if [ "${1:-}" = "--check" ]; then
 fi
 
 if $check_mode; then
-  echo "== bench regression gate: cached /v1/plan vs $baseline (>${TOLERANCE}% fails) =="
-  raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$')"
+  echo "== bench regression gate vs $baseline (ns >${TOLERANCE}% or any alloc growth fails) =="
+  raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkAdmitHandler$')"
   echo "$raw"
   now_ns="$(min_ns "$raw" BenchmarkPlanHandlerCached)"
-  base_ns="$(sed -n 's/.*"plan_cached"[^}]*"ns_per_op": *\([0-9.]*\).*/\1/p' "$baseline" | head -1)"
+  base_ns="$(base_field "$baseline" plan_cached ns_per_op)"
   [ -n "$now_ns" ] || { echo "FAIL: no BenchmarkPlanHandlerCached result"; exit 1; }
   [ -n "$base_ns" ] || { echo "FAIL: no plan_cached.ns_per_op in $baseline"; exit 1; }
   awk -v now="$now_ns" -v base="$base_ns" -v tol="$TOLERANCE" 'BEGIN {
@@ -68,12 +91,30 @@ if $check_mode; then
     }
     printf "OK: within the %s%% regression tolerance\n", tol
   }'
+  # Allocation gate: allocs/op is deterministic, so any growth over the
+  # baseline is a real regression — no tolerance. Baselines written before
+  # allocs were tracked simply skip this gate.
+  for gate in "plan_cached:BenchmarkPlanHandlerCached" "admit:BenchmarkAdmitHandler"; do
+    entry="${gate%%:*}" bench="${gate##*:}"
+    base_allocs="$(base_field "$baseline" "$entry" allocs_per_op)"
+    [ -n "$base_allocs" ] || { echo "skip: no $entry.allocs_per_op in $baseline"; continue; }
+    now_allocs="$(min_unit "$raw" "$bench" allocs/op)"
+    [ -n "$now_allocs" ] || { echo "FAIL: no allocs/op for $bench (is -benchmem on?)"; exit 1; }
+    awk -v now="$now_allocs" -v base="$base_allocs" -v entry="$entry" 'BEGIN {
+      printf "%s: %d allocs/op now vs %d baseline\n", entry, now, base
+      if (now > base) {
+        printf "FAIL: %s allocates %d/op, baseline holds %d/op\n", entry, now, base
+        exit 1
+      }
+    }'
+  done
+  echo "OK: no allocation regressions"
   exit 0
 fi
 
 out="${1:-bench.json}"
 echo "== serving benchmarks (count=$COUNT, benchtime=$BENCHTIME) =="
-server_raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkPlanHandlerCold$|BenchmarkAdmitHandler$|BenchmarkAdmitHandlerEscrow$|BenchmarkAdmitHandlerEscrowWAL$')"
+server_raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkPlanHandlerCold$|BenchmarkAdmitHandler$|BenchmarkAdmitBatchHandler$|BenchmarkAdmitHandlerEscrow$|BenchmarkAdmitHandlerEscrowWAL$')"
 echo "$server_raw"
 replay_raw="$(run_bench ./internal/replay/ 'BenchmarkReplayThroughput$')"
 echo "$replay_raw"
@@ -84,32 +125,46 @@ cold_ns="$(min_ns "$server_raw" BenchmarkPlanHandlerCold)"
 cold_rate="$(max_metric "$server_raw" BenchmarkPlanHandlerCold plans/s)"
 admit_ns="$(min_ns "$server_raw" BenchmarkAdmitHandler)"
 admit_rate="$(max_metric "$server_raw" BenchmarkAdmitHandler admits/s)"
+admit_batch_ns="$(min_ns "$server_raw" BenchmarkAdmitBatchHandler)"
+admit_batch_rate="$(max_metric "$server_raw" BenchmarkAdmitBatchHandler admits/s)"
 escrow_ns="$(min_ns "$server_raw" BenchmarkAdmitHandlerEscrow)"
 escrow_rate="$(max_metric "$server_raw" BenchmarkAdmitHandlerEscrow admits/s)"
 escrow_wal_ns="$(min_ns "$server_raw" BenchmarkAdmitHandlerEscrowWAL)"
 escrow_wal_rate="$(max_metric "$server_raw" BenchmarkAdmitHandlerEscrowWAL admits/s)"
 replay_jobs="$(max_metric "$replay_raw" BenchmarkReplayThroughput jobs/sec)"
 
-for v in "$cached_ns" "$cold_ns" "$admit_ns" "$escrow_ns" "$escrow_wal_ns" "$replay_jobs"; do
+for v in "$cached_ns" "$cold_ns" "$admit_ns" "$admit_batch_ns" "$escrow_ns" "$escrow_wal_ns" "$replay_jobs"; do
   [ -n "$v" ] || { echo "FAIL: missing benchmark result"; exit 1; }
 done
+
+# mem_fields <bench-name> -> the allocs/bytes JSON fragment for one entry
+mem_fields() {
+  local allocs bytes
+  allocs="$(min_unit "$server_raw" "$1" allocs/op)"
+  bytes="$(min_unit "$server_raw" "$1" B/op)"
+  printf '"allocs_per_op": %s, "bytes_per_op": %s' "${allocs:-0}" "${bytes:-0}"
+}
+
+raw_out="${out%.json}.txt"
+{ echo "$server_raw"; echo "$replay_raw"; } > "$raw_out"
 
 cpu="$(awk -F': ' '/^cpu:/ {print $2; exit}' <<<"$server_raw")"
 cat > "$out" <<EOF
 {
-  "schema": 1,
+  "schema": 2,
   "go": "$(go env GOVERSION)",
   "cpu": "$cpu",
   "count": $COUNT,
   "benchtime": "$BENCHTIME",
   "benchmarks": {
-    "plan_cached": {"ns_per_op": $cached_ns, "plans_per_sec": ${cached_rate:-0}},
-    "plan_cold": {"ns_per_op": $cold_ns, "plans_per_sec": ${cold_rate:-0}},
-    "admit": {"ns_per_op": $admit_ns, "admits_per_sec": ${admit_rate:-0}},
-    "admit_escrow": {"ns_per_op": $escrow_ns, "admits_per_sec": ${escrow_rate:-0}},
-    "admit_escrow_wal": {"ns_per_op": $escrow_wal_ns, "admits_per_sec": ${escrow_wal_rate:-0}},
+    "plan_cached": {"ns_per_op": $cached_ns, "plans_per_sec": ${cached_rate:-0}, $(mem_fields BenchmarkPlanHandlerCached)},
+    "plan_cold": {"ns_per_op": $cold_ns, "plans_per_sec": ${cold_rate:-0}, $(mem_fields BenchmarkPlanHandlerCold)},
+    "admit": {"ns_per_op": $admit_ns, "admits_per_sec": ${admit_rate:-0}, $(mem_fields BenchmarkAdmitHandler)},
+    "admit_batch": {"ns_per_op": $admit_batch_ns, "admits_per_sec": ${admit_batch_rate:-0}, $(mem_fields BenchmarkAdmitBatchHandler)},
+    "admit_escrow": {"ns_per_op": $escrow_ns, "admits_per_sec": ${escrow_rate:-0}, $(mem_fields BenchmarkAdmitHandlerEscrow)},
+    "admit_escrow_wal": {"ns_per_op": $escrow_wal_ns, "admits_per_sec": ${escrow_wal_rate:-0}, $(mem_fields BenchmarkAdmitHandlerEscrowWAL)},
     "replay": {"jobs_per_sec": $replay_jobs}
   }
 }
 EOF
-echo "wrote $out"
+echo "wrote $out and $raw_out"
