@@ -27,8 +27,8 @@ bench: ## one-iteration benchmark smoke run (the CI bench-smoke job)
 bench-json: ## regenerate the per-PR perf trajectory JSON (BENCH_<n>.json)
 	./scripts/bench-json.sh $(or $(OUT),bench.json)
 
-bench-check: ## fail on >10% cached-plan slowdown or any alloc growth vs baseline
-	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_8.json)
+bench-check: ## fail on >10% cached- or cold-plan slowdown, any alloc growth, or a replay throughput drop vs baseline
+	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_9.json)
 
 bench-diff: ## report the delta between the last two committed BENCH_*.json
 	./scripts/bench-diff.sh

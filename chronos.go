@@ -216,7 +216,7 @@ func Optimize(s Strategy, p JobParams, e Econ) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	res, err := optimize.Solve(analysis.NewModel(kind, ap), optimize.Config(e))
+	res, err := optimize.SolveStrategy(kind, ap, optimize.Config(e))
 	if err != nil {
 		return Plan{}, err
 	}
@@ -261,7 +261,7 @@ func OptimizeWithinBudget(s Strategy, p JobParams, e Econ, budget float64) (Plan
 	if err != nil {
 		return Plan{}, err
 	}
-	res, err := optimize.SolveCapped(analysis.NewModel(kind, ap), optimize.Config(e), budget)
+	res, err := optimize.SolveCappedStrategy(kind, ap, optimize.Config(e), budget)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -329,7 +329,7 @@ func TradeoffCurve(s Strategy, p JobParams, e Econ, maxR int) ([]TradeoffPoint, 
 	if err != nil {
 		return nil, err
 	}
-	pts := optimize.Curve(analysis.NewModel(kind, ap), optimize.Config(e), maxR)
+	pts := optimize.CurveStrategy(kind, ap, optimize.Config(e), maxR)
 	out := make([]TradeoffPoint, len(pts))
 	for i, pt := range pts {
 		out[i] = TradeoffPoint{

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"chronos/internal/analysis"
 	"chronos/internal/optimize"
 )
 
@@ -43,7 +42,7 @@ func NewBudgetFrontier(s Strategy, p JobParams, e Econ) (*BudgetFrontier, error)
 	if err != nil {
 		return nil, err
 	}
-	f, err := optimize.NewFrontier(analysis.NewModel(kind, ap), optimize.Config(e))
+	f, err := optimize.NewFrontierStrategy(kind, ap, optimize.Config(e))
 	if err != nil {
 		return nil, err
 	}

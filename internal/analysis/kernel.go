@@ -1,0 +1,170 @@
+package analysis
+
+import "math"
+
+// Evaluator is the recurrence kernel behind the Model interface: a
+// per-(strategy, Params) evaluation state that hoists every r-invariant term
+// of the closed forms — the deadline-miss probabilities, the geometric ratio
+// and its squares table, the truncated-Pareto mean, the concavity threshold —
+// out of the per-probe path, so each PoCD/MachineTime probe costs a handful
+// of multiply-adds plus at most one math.Pow.
+//
+// The contract that makes an Evaluator safe to substitute for the plain
+// models (cache keys, goldens, and frontier tables all depend on it) is BIT
+// IDENTITY: for every r, an Evaluator reset to (s, p) returns exactly the
+// float64 the corresponding Clone/Restart/Resume model returns. Hoisting a
+// subexpression preserves bits only when the cached value is produced by the
+// same operations on the same operands, so every branch below replicates the
+// model's operation order literally; the property tests in
+// kernel_property_test.go pin this across randomized Params.
+//
+// The zero Evaluator is not usable; call Reset first. An Evaluator is not
+// safe for concurrent use.
+type Evaluator struct {
+	strat Strategy
+	p     Params
+
+	nF       float64 // float64(p.N), conversion is exact
+	gamma    float64 // Theorem 8 threshold, fixed per (strategy, Params)
+	failOrig float64 // P(original attempt misses D); Clone: single-attempt miss
+	// failExtra is the geometric ratio rho of q(r) = A*rho^(r+c): the miss
+	// probability of one extra attempt (Clone: same as failOrig).
+	failExtra float64
+	powExtra  powTab  // squares table over failExtra, see powtab.go
+	hitTerm   float64 // meanHit * (1 - pMiss), the non-straggler cost term
+	meanAll   float64 // N * E[T], Restart's r == 0 machine time
+	tauDiff   float64 // TauKill - TauEst
+	omPhi     float64 // 1 - phi (Resume only)
+
+	cursor int // next r returned by Advance
+}
+
+var _ Model = (*Evaluator)(nil)
+
+// Reset binds the evaluator to a strategy and parameter set, computing every
+// r-invariant term once. It performs no validation; callers that need the
+// closed forms' preconditions enforced should Validate the Params first.
+func (e *Evaluator) Reset(s Strategy, p Params) {
+	*e = Evaluator{strat: s, p: p, nF: float64(p.N)}
+
+	failOrig := p.Task.Survival(p.Deadline)
+	e.failOrig = failOrig
+
+	switch s {
+	case StrategyClone:
+		e.failExtra = failOrig
+		e.gamma = concavityThreshold(1, failOrig, 1, p.N)
+	case StrategyRestart:
+		failExtra := clampProb(p.Task.Survival(p.Deadline - p.TauEst))
+		if p.Deadline-p.TauEst <= p.Task.TMin {
+			failExtra = 1 // a restarted attempt cannot finish in time
+		}
+		e.failExtra = failExtra
+		e.gamma = concavityThreshold(failOrig, failExtra, 0, p.N)
+		e.meanAll = float64(p.N) * p.Task.Mean()
+	case StrategyResume:
+		phi := p.phi()
+		e.omPhi = 1 - phi
+		remaining := p.Task.Scaled(1 - phi)
+		failExtra := clampProb(remaining.Survival(p.Deadline - p.TauEst))
+		if p.Deadline-p.TauEst <= remaining.TMin {
+			failExtra = 1
+		}
+		e.failExtra = failExtra
+		e.gamma = concavityThreshold(failOrig, failExtra, 1, p.N)
+	default:
+		panic("analysis: unknown strategy")
+	}
+
+	e.powExtra.init(e.failExtra)
+
+	// Straggler-branch invariants shared by Restart and Resume MachineTime.
+	// pMiss is the same Survival(D) expression as failOrig, and hitTerm
+	// caches the meanHit*(1-pMiss) product the models form on every probe.
+	meanHit := p.Task.MeanBelow(p.Deadline)
+	e.hitTerm = meanHit * (1 - failOrig)
+	e.tauDiff = p.TauKill - p.TauEst
+}
+
+// Name implements Model.
+func (e *Evaluator) Name() string { return e.strat.String() }
+
+// Params implements Model.
+func (e *Evaluator) Params() Params { return e.p }
+
+// Strategy returns the bound strategy.
+func (e *Evaluator) Strategy() Strategy { return e.strat }
+
+// Gamma implements Model; the threshold is computed once at Reset.
+func (e *Evaluator) Gamma() float64 { return e.gamma }
+
+// PoCD implements Model (Theorems 1, 3, 5). The per-task failure probability
+// q(r) = A*rho^(r+c) is assembled from the cached A and the squares table;
+// the only remaining transcendental is pocdFromTaskFailure's (1-q)^N.
+func (e *Evaluator) PoCD(r int) float64 {
+	var q float64
+	switch e.strat {
+	case StrategyClone:
+		q = e.powExtra.pow(r + 1)
+	case StrategyRestart:
+		q = e.failOrig * e.powExtra.pow(r)
+	default: // StrategyResume
+		q = e.failOrig * e.powExtra.pow(r+1)
+	}
+	return pocdFromTaskFailure(q, e.p.N)
+}
+
+// MachineTime implements Model (Theorems 2, 4, 6), replicating each model's
+// branch structure with the r-invariant terms read from the cache.
+func (e *Evaluator) MachineTime(r int) float64 {
+	p := e.p
+	switch e.strat {
+	case StrategyClone:
+		perTask := float64(r)*p.TauKill + p.Task.ExpectedMin(r+1)
+		return e.nF * perTask
+	case StrategyRestart:
+		if r == 0 {
+			return e.meanAll
+		}
+		straggler := p.TauEst + float64(r)*e.tauDiff + restartSurvivor(p, r)
+		perTask := e.hitTerm + straggler*e.failOrig
+		return e.nF * perTask
+	default: // StrategyResume
+		if r < 0 {
+			r = 0
+		}
+		straggler := p.TauEst + float64(r)*e.tauDiff + resumeSurvivor(p.Task.TMin, p.Task.Beta, e.omPhi, r)
+		perTask := e.hitTerm + straggler*e.failOrig
+		return e.nF * perTask
+	}
+}
+
+// Probe bundles both sides of the tradeoff at one replication level.
+type Probe struct {
+	R           int
+	PoCD        float64
+	MachineTime float64
+}
+
+// Seek positions the cursor so the next Advance evaluates r.
+func (e *Evaluator) Seek(r int) { e.cursor = r }
+
+// Advance evaluates both metrics at the cursor and moves it one step
+// forward. This is the incremental path for sequential searches (frontier
+// construction, capped scans, the below-Gamma exhaustive phase): the squares
+// table built at Reset makes each step a popcount(r)-multiply replay of
+// powInt's exact sequence. A naive running product q(r+1) = q(r)*rho would
+// be cheaper still, but drifts from powInt's rounding by r = 4 and would
+// break the bit-identity contract.
+func (e *Evaluator) Advance() Probe {
+	r := e.cursor
+	e.cursor++
+	return Probe{R: r, PoCD: e.PoCD(r), MachineTime: e.MachineTime(r)}
+}
+
+// resumeSurvivor is Resume.MachineTime's straggler survivor term, shared so
+// the model and the Evaluator produce it with identical operations.
+func resumeSurvivor(tm, b, omPhi float64, r int) float64 {
+	brp := b * float64(r+1)
+	return tm + tm*math.Pow(omPhi, brp)/(brp-1)
+}

@@ -73,8 +73,9 @@ func (w WaveModel) PoCD(r int) float64 {
 	if p.Deadline <= p.Task.TMin || p.TauKill > p.Deadline {
 		return 0 // a wave slice below tmin cannot complete in time
 	}
-	m := NewModel(strategyOf(w.Inner), p)
-	return m.PoCD(r)
+	var e Evaluator
+	e.Reset(strategyOf(w.Inner), p)
+	return e.PoCD(r)
 }
 
 // MachineTime returns the expected machine time across waves. Machine time
@@ -91,8 +92,9 @@ func (w WaveModel) MachineTime(r int) float64 {
 		// run; they just miss the deadline).
 		return w.Inner.MachineTime(r)
 	}
-	m := NewModel(strategyOf(w.Inner), p)
-	return m.MachineTime(r)
+	var e Evaluator
+	e.Reset(strategyOf(w.Inner), p)
+	return e.MachineTime(r)
 }
 
 // Name implements Model.
@@ -110,6 +112,7 @@ func (w WaveModel) Gamma() float64 {
 	gamma := w.Inner.Gamma()
 	// Wave slicing shrinks the deadline, which can only raise the
 	// threshold; probe the first few r values.
+	var e Evaluator
 	for r := 0; r <= 8; r++ {
 		waves := w.WavesAtR(r)
 		if waves == 1 {
@@ -119,7 +122,8 @@ func (w WaveModel) Gamma() float64 {
 		if p.Deadline <= p.Task.TMin || p.TauKill > p.Deadline {
 			continue
 		}
-		if g := NewModel(strategyOf(w.Inner), p).Gamma(); g > gamma {
+		e.Reset(strategyOf(w.Inner), p)
+		if g := e.Gamma(); g > gamma {
 			gamma = g
 		}
 	}

@@ -71,6 +71,12 @@ func (s Restart) MachineTime(r int) float64 {
 
 // expectedSurvivorTime returns E[min(T1-tauEst, T2, ..., Tr+1) | T1 > D]:
 // the expected post-tauEst running time of the attempt that is kept.
+func (s Restart) expectedSurvivorTime(r int) float64 {
+	return restartSurvivor(s.P, r)
+}
+
+// restartSurvivor is the package-level form of expectedSurvivorTime, shared
+// with the Evaluator kernel so both produce bit-identical values.
 //
 // Writing That = T1 | T1 > D ~ Pareto(D, beta) (Lemma 3):
 //
@@ -79,16 +85,15 @@ func (s Restart) MachineTime(r int) float64 {
 //	            + Int_{D-tauEst}^inf (D/(w+tauEst))^beta (tmin/w)^(beta r) dw.
 //
 // The first integral is elementary (with a log limit at beta*r == 1); the
-// second is evaluated numerically.
-func (s Restart) expectedSurvivorTime(r int) float64 {
-	p := s.P
+// second has the convergent series form evaluated by restartSurvivorTail.
+func restartSurvivor(p Params, r int) float64 {
 	tm, b, d, te := p.Task.TMin, p.Task.Beta, p.Deadline, p.TauEst
 	dBar := d - te
 	if dBar <= tm {
 		// The survivor is effectively the (conditioned) original: the extra
 		// attempts cannot even reach tmin of processing before the original
 		// would have had to finish. Integrate the general form numerically.
-		return s.survivorTimeNumeric(r)
+		return Restart{P: p}.survivorTimeNumeric(r)
 	}
 	br := b * float64(r)
 
@@ -99,11 +104,57 @@ func (s Restart) expectedSurvivorTime(r int) float64 {
 		head = tm/(br-1) - math.Pow(tm, br)/((br-1)*math.Pow(dBar, br-1))
 	}
 
-	tail := pareto.Integrate(func(w float64) float64 {
+	return tm + head + restartSurvivorTail(tm, b, d, te, br, dBar)
+}
+
+// tailSeriesMaxTerms caps the series below; sized so every parameter set
+// whose scale factor (tmin/D)^(beta*r) has not underflowed converges within
+// it (the slow-convergence corner te/D -> 1 forces tmin/D -> 0, which caps
+// beta*r long before the term count grows past this).
+const tailSeriesMaxTerms = 1 << 15
+
+// restartSurvivorTail evaluates the non-elementary integral of Theorem 4,
+//
+//	Int_{D-tauEst}^inf (D/(w+tauEst))^beta (tmin/w)^(beta*r) dw,
+//
+// by the substitution v = w + tauEst and a generalized binomial expansion of
+// (1 - tauEst/v)^(-beta*r), which turns it into the all-positive convergent
+// series
+//
+//	D * (tmin/D)^k * Sum_n C(k+n-1, n) * y^n / (beta+k+n-1),
+//
+// with k = beta*r and y = tauEst/D < 1 - tmin/D (guaranteed by the caller's
+// D - tauEst > tmin branch). Each term follows from the last by one
+// multiply-add, replacing the adaptive quadrature that used to dominate the
+// entire cold-path solve (~95% of a three-strategy optimization). The
+// quadrature remains as the fallback for the (extreme-corner) parameter sets
+// the capped series cannot settle.
+func restartSurvivorTail(tm, b, d, te, br, dBar float64) float64 {
+	scale := d * math.Pow(tm/d, br)
+	if scale == 0 {
+		// The integrand's mass underflowed; every series term carries the
+		// same factor, so the tail is exactly zero at float64 precision.
+		return 0
+	}
+	y := te / d
+	sum, c := 0.0, 1.0
+	bk := b + br - 1 // denominator offset: beta + k - 1 > 0 since beta > 1
+	for n := 0; n < tailSeriesMaxTerms; n++ {
+		fn := float64(n)
+		term := c / (bk + fn)
+		sum += term
+		// Terms rise until the ratio y*(k+n)/(n+1) drops below 1, then decay
+		// geometrically; once decreasing, the remaining tail is bounded by
+		// term * rho / (1 - rho).
+		rho := y * (br + fn) / (fn + 1)
+		if rho < 1 && term*rho <= (1-rho)*sum*1e-16 {
+			return scale * sum
+		}
+		c *= (br + fn) / (fn + 1) * y
+	}
+	return pareto.Integrate(func(w float64) float64 {
 		return math.Pow(d/(w+te), b) * math.Pow(tm/w, br)
 	}, dBar, math.Inf(1))
-
-	return tm + head + tail
 }
 
 // survivorTimeNumeric evaluates E[W] by direct quadrature of

@@ -1,7 +1,5 @@
 package analysis
 
-import "math"
-
 // Resume is the analytic model of the Speculative-Resume strategy: stragglers
 // detected at tauEst are killed, and r+1 fresh attempts continue from the
 // last processed byte offset, i.e. they only process the remaining (1-phi)
@@ -56,9 +54,7 @@ func (s Resume) MachineTime(r int) float64 {
 	if r < 0 {
 		r = 0
 	}
-	b := p.Task.Beta
-	brp := b * float64(r+1)
-	survivor := p.Task.TMin + p.Task.TMin*math.Pow(1-phi, brp)/(brp-1)
+	survivor := resumeSurvivor(p.Task.TMin, p.Task.Beta, 1-phi, r)
 	straggler := p.TauEst + float64(r)*(p.TauKill-p.TauEst) + survivor
 
 	perTask := meanHit*(1-pMiss) + straggler*pMiss

@@ -46,6 +46,9 @@ const (
 	StageForward
 	// StageReplayEmit is NDJSON replay-event encoding, write, and flush.
 	StageReplayEmit
+	// StageFlightWait is time a cold plan request spent parked behind another
+	// request's in-flight solve for the same plan key (singleflight waiter).
+	StageFlightWait
 
 	// NumStages sizes per-stage arrays; keep it last.
 	NumStages
@@ -53,6 +56,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"quantize", "cache", "solve", "debit", "escrow", "forward", "replay_emit",
+	"flight_wait",
 }
 
 // String returns the stable label used in logs, metrics, and /debug/traces.

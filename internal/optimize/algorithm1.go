@@ -39,12 +39,31 @@ func Solve(m analysis.Model, cfg Config) (Result, error) {
 	}
 	// The bracketing and binary-search phases revisit r values; cache the
 	// closed-form evaluations for the duration of the solve.
-	return solveMemoized(Memoize(m), cfg)
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	return solveMemoized(mm, cfg)
+}
+
+// SolveStrategy is Solve for a (strategy, params) pair: the model is bound
+// directly to a pooled recurrence kernel, so the entire solve performs no
+// heap allocation.
+func SolveStrategy(s analysis.Strategy, p analysis.Params, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	mm := acquireStrategy(s, p)
+	defer mm.release()
+	return solveMemoized(mm, cfg)
 }
 
 // solveMemoized is Solve after validation and memoization, shared with
 // SolveCapped so a constrained solve reuses the same model evaluations.
-func solveMemoized(m analysis.Model, cfg Config) (Result, error) {
+func solveMemoized(m *memoModel, cfg Config) (Result, error) {
 	gamma := m.Gamma()
 	start := int(math.Ceil(gamma))
 	if start < 0 {
@@ -52,13 +71,15 @@ func solveMemoized(m analysis.Model, cfg Config) (Result, error) {
 	}
 
 	// Phase 1: U is concave (hence unimodal) on r >= start. Bracket the peak
-	// by exponential probing, then binary-search the first difference.
+	// by exponential probing, then binary-search the first difference. The
+	// closure does not escape concaveArgmax, so it stays on the stack.
 	bestR := concaveArgmax(func(r int) float64 { return cfg.Utility(m, r) }, start)
 	bestU := cfg.Utility(m, bestR)
 
-	// Phase 2: exhaustive scan below the concavity threshold.
+	// Phase 2: exhaustive scan below the concavity threshold, riding the
+	// kernel's sequential Advance cursor.
 	for r := 0; r < start; r++ {
-		if u := cfg.Utility(m, r); u > bestU {
+		if _, _, u := m.scanProbe(cfg, r); u > bestU {
 			bestU, bestR = u, r
 		}
 	}
@@ -117,7 +138,7 @@ func concaveArgmax(u func(int) float64, start int) int {
 func SolveAll(p analysis.Params, cfg Config) []Result {
 	out := make([]Result, 0, 3)
 	for _, s := range analysis.Strategies() {
-		res, err := Solve(analysis.NewModel(s, p), cfg)
+		res, err := SolveStrategy(s, p, cfg)
 		if err != nil {
 			res = Result{Strategy: s.String(), R: -1, Utility: math.Inf(-1)}
 		}

@@ -59,14 +59,24 @@ func BatchSolve(jobs []BatchJob, budget float64) ([]BatchResult, error) {
 	}
 	// The greedy loop below re-evaluates every job's marginal step each
 	// round; memoize the closed forms so each (job, r) pair is computed once.
-	models := make([]analysis.Model, len(jobs))
+	// The memos are pooled: raw strategy models bind to recurrence kernels
+	// and the dense caches are recycled across batches.
+	models := make([]*memoModel, len(jobs))
+	owned := make([]bool, len(jobs))
+	defer func() {
+		for i, m := range models {
+			if m != nil && owned[i] {
+				m.release()
+			}
+		}
+	}()
 	rs := make([]int, len(jobs))
 	spent := 0.0
 	for i, j := range jobs {
 		if err := j.Model.Params().Validate(); err != nil {
 			return nil, fmt.Errorf("optimize: batch job %d: %w", i, err)
 		}
-		models[i] = Memoize(j.Model)
+		models[i], owned[i] = acquire(j.Model)
 		spent += models[i].MachineTime(0)
 	}
 	if spent > budget {

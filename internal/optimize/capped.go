@@ -43,11 +43,33 @@ func SolveCapped(m analysis.Model, cfg Config, budget float64) (Result, error) {
 	if err := m.Params().Validate(); err != nil {
 		return Result{}, err
 	}
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	return solveCappedMemoized(mm, cfg, budget)
+}
+
+// SolveCappedStrategy is SolveCapped for a (strategy, params) pair through a
+// pooled recurrence kernel, the allocation-free form the server's admission
+// path uses.
+func SolveCappedStrategy(s analysis.Strategy, p analysis.Params, cfg Config, budget float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	mm := acquireStrategy(s, p)
+	defer mm.release()
+	return solveCappedMemoized(mm, cfg, budget)
+}
+
+// solveCappedMemoized is SolveCapped after validation and memoization.
+func solveCappedMemoized(m *memoModel, cfg Config, budget float64) (Result, error) {
 	if math.IsNaN(budget) {
 		return Result{}, fmt.Errorf("optimize: budget is NaN")
 	}
-	m = Memoize(m)
-
 	un, err := solveMemoized(m, cfg)
 	if err != nil {
 		return Result{}, err // ErrInfeasible: no budget can fix it
@@ -61,29 +83,12 @@ func SolveCapped(m analysis.Model, cfg Config, budget float64) (Result, error) {
 	// RMin) is [rFeas, inf): bisect its frontier — un.R is known feasible —
 	// and anchor the scan there, so a wide infeasible prefix (large Gamma)
 	// cannot push the cheapest feasible plans past the scan cap.
-	// Memoization makes the revisited r values map hits.
-	rFeas := 0
-	if math.IsInf(cfg.Utility(m, 0), -1) {
-		lo, hiF := 0, un.R // invariant: lo infeasible, hiF feasible
-		for hiF-lo > 1 {
-			mid := lo + (hiF-lo)/2
-			if math.IsInf(cfg.Utility(m, mid), -1) {
-				lo = mid
-			} else {
-				hiF = mid
-			}
-		}
-		rFeas = hiF
-	}
-	hi := un.R + cappedScanMargin
-	if hi > rFeas+cappedScanCap {
-		hi = rFeas + cappedScanCap
-	}
+	// Memoization makes the revisited r values slice hits.
+	rFeas, hi := cappedScanWindow(m, cfg, un.R)
 	best := Result{R: -1, Utility: math.Inf(-1)}
 	cheapest := math.Inf(1)
 	for r := rFeas; r <= hi; r++ {
-		mt := m.MachineTime(r)
-		u := cfg.Utility(m, r)
+		_, mt, u := m.scanProbe(cfg, r)
 		if !math.IsInf(u, -1) && mt < cheapest {
 			cheapest = mt
 		}
@@ -105,4 +110,27 @@ func SolveCapped(m analysis.Model, cfg Config, budget float64) (Result, error) {
 		return Result{}, fmt.Errorf("%w: need %v, have %v", ErrBudgetTooSmall, cheapest, budget)
 	}
 	return best, nil
+}
+
+// cappedScanWindow derives the [rFeas, hi] scan range shared by SolveCapped
+// and Frontier construction: bisect the feasibility frontier anchored at the
+// known-feasible unconstrained optimum unR, then cap the width.
+func cappedScanWindow(m *memoModel, cfg Config, unR int) (rFeas, hi int) {
+	if math.IsInf(cfg.Utility(m, 0), -1) {
+		lo, hiF := 0, unR // invariant: lo infeasible, hiF feasible
+		for hiF-lo > 1 {
+			mid := lo + (hiF-lo)/2
+			if math.IsInf(cfg.Utility(m, mid), -1) {
+				lo = mid
+			} else {
+				hiF = mid
+			}
+		}
+		rFeas = hiF
+	}
+	hi = unR + cappedScanMargin
+	if hi > rFeas+cappedScanCap {
+		hi = rFeas + cappedScanCap
+	}
+	return rFeas, hi
 }

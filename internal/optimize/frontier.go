@@ -46,7 +46,29 @@ func NewFrontier(m analysis.Model, cfg Config) (*Frontier, error) {
 	if err := m.Params().Validate(); err != nil {
 		return nil, err
 	}
-	m = Memoize(m)
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	return newFrontierMemoized(mm, cfg)
+}
+
+// NewFrontierStrategy is NewFrontier for a (strategy, params) pair: the
+// table is built through a pooled recurrence kernel, so construction costs
+// one solve plus a sequential Advance walk of the scan window.
+func NewFrontierStrategy(s analysis.Strategy, p analysis.Params, cfg Config) (*Frontier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	mm := acquireStrategy(s, p)
+	defer mm.release()
+	return newFrontierMemoized(mm, cfg)
+}
+
+func newFrontierMemoized(m *memoModel, cfg Config) (*Frontier, error) {
 	un, err := solveMemoized(m, cfg)
 	if err != nil {
 		return nil, err
@@ -55,31 +77,14 @@ func NewFrontier(m analysis.Model, cfg Config) (*Frontier, error) {
 	// The window derivation mirrors SolveCapped exactly: bisect the
 	// feasibility frontier anchored at the known-feasible un.R, then scan
 	// [rFeas, min(un.R+margin, rFeas+cap)].
-	rFeas := 0
-	if math.IsInf(cfg.Utility(m, 0), -1) {
-		lo, hiF := 0, un.R
-		for hiF-lo > 1 {
-			mid := lo + (hiF-lo)/2
-			if math.IsInf(cfg.Utility(m, mid), -1) {
-				lo = mid
-			} else {
-				hiF = mid
-			}
-		}
-		rFeas = hiF
-	}
-	hi := un.R + cappedScanMargin
-	if hi > rFeas+cappedScanCap {
-		hi = rFeas + cappedScanCap
-	}
+	rFeas, hi := cappedScanWindow(m, cfg, un.R)
 	f := &Frontier{
 		unconstrained: un,
 		points:        make([]frontierPoint, 0, hi-rFeas+1),
 		cheapest:      math.Inf(1),
 	}
 	for r := rFeas; r <= hi; r++ {
-		mt := m.MachineTime(r)
-		u := cfg.Utility(m, r)
+		pocd, mt, u := m.scanProbe(cfg, r)
 		if !math.IsInf(u, -1) && mt < f.cheapest {
 			f.cheapest = mt
 		}
@@ -87,7 +92,7 @@ func NewFrontier(m analysis.Model, cfg Config) (*Frontier, error) {
 			r:           r,
 			machineTime: mt,
 			utility:     u,
-			pocd:        m.PoCD(r),
+			pocd:        pocd,
 			cost:        cfg.UnitPrice * mt,
 		})
 	}

@@ -24,6 +24,11 @@ func MinCostForPoCD(m analysis.Model, cfg Config, target float64) (Result, error
 	if target <= 0 || target > 1 {
 		return Result{}, ErrUnreachablePoCD
 	}
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	m = mm
 	for r := 0; r <= maxInverseR; r++ {
 		if m.PoCD(r) >= target {
 			mt := m.MachineTime(r)
@@ -46,7 +51,9 @@ func CheapestStrategyForPoCD(p analysis.Params, cfg Config, target float64) (Res
 	best := Result{Cost: math.Inf(1)}
 	found := false
 	for _, s := range analysis.Strategies() {
-		res, err := MinCostForPoCD(analysis.NewModel(s, p), cfg, target)
+		mm := acquireStrategy(s, p)
+		res, err := MinCostForPoCD(mm, cfg, target)
+		mm.release()
 		if err != nil {
 			continue
 		}
@@ -64,6 +71,11 @@ func CheapestStrategyForPoCD(p analysis.Params, cfg Config, target float64) (Res
 // MaxPoCDForBudget returns the configuration with the highest PoCD whose
 // cost stays within budget — the other direction of the tradeoff frontier.
 func MaxPoCDForBudget(m analysis.Model, cfg Config, budget float64) (Result, error) {
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	m = mm
 	best := Result{R: -1}
 	for r := 0; r <= maxInverseR; r++ {
 		mt := m.MachineTime(r)

@@ -65,7 +65,18 @@ func (c Config) Utility(m analysis.Model, r int) float64 {
 	if pocd <= c.RMin {
 		return math.Inf(-1)
 	}
-	return math.Log10(pocd-c.RMin) - c.Theta*c.UnitPrice*m.MachineTime(r)
+	return c.utilityAt(pocd, m.MachineTime(r))
+}
+
+// utilityAt assembles U from already-evaluated metrics with exactly the
+// operations Utility performs — c.Theta*c.UnitPrice*mt associates left, and
+// changing the association changes low-order bits — so values produced
+// either way are interchangeable in goldens and frontier tables.
+func (c Config) utilityAt(pocd, mt float64) float64 {
+	if pocd <= c.RMin {
+		return math.Inf(-1)
+	}
+	return math.Log10(pocd-c.RMin) - c.Theta*c.UnitPrice*mt
 }
 
 // UtilityFromMeasured computes the same net utility from measured PoCD and
@@ -89,17 +100,37 @@ type Point struct {
 }
 
 // Curve evaluates the tradeoff curve for r = 0..maxR inclusive. Useful for
-// plotting the PoCD/cost frontier of Section V.
+// plotting the PoCD/cost frontier of Section V. Each closed form is
+// evaluated exactly once per r: the points are built from scanProbe, which
+// shares the PoCD/MachineTime evaluations between the point fields and the
+// utility term (the naive loop evaluated PoCD twice per point — once for the
+// field, once inside cfg.Utility).
 func Curve(m analysis.Model, cfg Config, maxR int) []Point {
+	mm, pooled := acquire(m)
+	if pooled {
+		defer mm.release()
+	}
+	return curveOn(mm, cfg, maxR)
+}
+
+// CurveStrategy is Curve for a (strategy, params) pair, evaluated through a
+// pooled recurrence kernel with no interface boxing.
+func CurveStrategy(s analysis.Strategy, p analysis.Params, cfg Config, maxR int) []Point {
+	mm := acquireStrategy(s, p)
+	defer mm.release()
+	return curveOn(mm, cfg, maxR)
+}
+
+func curveOn(mm *memoModel, cfg Config, maxR int) []Point {
 	pts := make([]Point, 0, maxR+1)
 	for r := 0; r <= maxR; r++ {
-		mt := m.MachineTime(r)
+		pocd, mt, u := mm.scanProbe(cfg, r)
 		pts = append(pts, Point{
 			R:           r,
-			PoCD:        m.PoCD(r),
+			PoCD:        pocd,
 			MachineTime: mt,
 			Cost:        cfg.UnitPrice * mt,
-			Utility:     cfg.Utility(m, r),
+			Utility:     u,
 		})
 	}
 	return pts

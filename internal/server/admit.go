@@ -168,8 +168,25 @@ func (s *Server) cachedPlanKeyedBytes(tr *obs.Trace, key []byte, strat chronos.S
 }
 
 // solveAndCache runs the unconstrained solve on a cache miss and populates
-// the cache.
+// the cache. Concurrent misses for the same key are collapsed through the
+// singleflight table: one leader solves while the others park on its done
+// channel and share the outcome (reported as cached=false — a waiter's plan
+// was not served from the LRU, it piggybacked on a live solve).
 func (s *Server) solveAndCache(tr *obs.Trace, key string, strat chronos.Strategy, best bool, job chronos.JobParams, econ chronos.Econ) (plan chronos.Plan, cached bool, err error) {
+	call, leader := s.flight.join(key)
+	if !leader {
+		// Counted on entry, not exit, so the waiter population is observable
+		// while the leader's solve is still in flight.
+		s.metrics.flightWaiters.Inc()
+		wStart := time.Now()
+		<-call.done
+		tr.Observe(obs.StageFlightWait, time.Since(wStart))
+		return call.plan, false, call.err
+	}
+	s.metrics.flightLeaders.Inc()
+	if s.solveHook != nil {
+		s.solveHook(key)
+	}
 	sStart := time.Now()
 	if best {
 		plan, err = chronos.OptimizeBest(job, econ)
@@ -178,10 +195,14 @@ func (s *Server) solveAndCache(tr *obs.Trace, key string, strat chronos.Strategy
 	}
 	tr.Observe(obs.StageSolve, time.Since(sStart))
 	if err != nil {
-		return chronos.Plan{}, false, err
+		plan = chronos.Plan{}
+	} else {
+		// Cache before leaving the flight table so later misses for this key
+		// hit the LRU instead of starting a fresh solve.
+		s.cache.put(key, plan)
 	}
-	s.cache.put(key, plan)
-	return plan, false, nil
+	s.flight.complete(key, call, plan, err)
+	return plan, false, err
 }
 
 // planWithinBudget returns the best plan whose expected machine time fits

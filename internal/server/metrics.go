@@ -58,6 +58,13 @@ type serverMetrics struct {
 	// as HTTP 500 and logged at warn with the trace ID).
 	encodeFailures metrics.Counter
 
+	// Singleflight series: cold-miss solves actually run (leaders) and
+	// requests that piggybacked on a concurrent identical solve (waiters).
+	// waiters/(leaders+waiters) is the fraction of cold traffic the miss
+	// collapse absorbed.
+	flightLeaders metrics.Counter
+	flightWaiters metrics.Counter
+
 	// Escrow series: per-tenant grants issued (owner side), lease top-ups
 	// performed (holder side), and expired-lease reclamations (owner side).
 	escrowGrants   map[string]*metrics.Counter // by tenant
@@ -393,6 +400,12 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 	fmt.Fprintln(w, "# HELP chronosd_plan_cache_entries Plans currently cached.")
 	fmt.Fprintln(w, "# TYPE chronosd_plan_cache_entries gauge")
 	fmt.Fprintf(w, "chronosd_plan_cache_entries %d\n", cache.len())
+	fmt.Fprintln(w, "# HELP chronosd_plan_singleflight_leaders_total Cold-miss solves run as singleflight leaders.")
+	fmt.Fprintln(w, "# TYPE chronosd_plan_singleflight_leaders_total counter")
+	fmt.Fprintf(w, "chronosd_plan_singleflight_leaders_total %d\n", m.flightLeaders.Value())
+	fmt.Fprintln(w, "# HELP chronosd_plan_singleflight_waiters_total Cold misses that piggybacked on a concurrent identical solve.")
+	fmt.Fprintln(w, "# TYPE chronosd_plan_singleflight_waiters_total counter")
+	fmt.Fprintf(w, "chronosd_plan_singleflight_waiters_total %d\n", m.flightWaiters.Value())
 
 	m.mu.Lock()
 	tenantNames := make([]string, 0, len(m.tenants))

@@ -43,7 +43,13 @@ type Server struct {
 	reqLog *obs.Logger
 	// escrow is the fleet-exact tenant accounting subsystem; nil when
 	// cfg.Escrow is off (the legacy per-replica approximation).
-	escrow    *escrowManager
+	escrow *escrowManager
+	// flight collapses concurrent cold-miss solves per plan key: one leader
+	// runs the optimizer, waiters share its result (see singleflight.go).
+	flight planFlight
+	// solveHook, when set (tests), runs in the singleflight leader just
+	// before the solve — the hook point for counting and gating real solves.
+	solveHook func(key string)
 	closeOnce sync.Once
 }
 

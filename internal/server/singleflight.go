@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sync"
+
+	"chronos"
+)
+
+// planFlight collapses concurrent cold misses for one plan key into a single
+// solve. Without it, a thundering herd — a hot cell evicted under pressure,
+// or a fleet member booting with a cold cache — burns one full three-strategy
+// solve per concurrent request for the same key. With it, the first request
+// (the leader) solves and populates the cache; the others (waiters) park on
+// the call's done channel and share the leader's plan and error.
+//
+// The leader caches the plan BEFORE leaving the flight table, so a request
+// that misses the cache after the leader left finds the entry on its next
+// lookup rather than re-solving; the only duplicate-solve window left is a
+// cache miss that joins after the leader both cached and left, which the LRU
+// then absorbs as a hit.
+type planFlight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight solve.
+type flightCall struct {
+	done chan struct{} // closed when plan/err are ready
+	plan chronos.Plan
+	err  error
+}
+
+// join returns the call for key, creating it if absent. leader reports
+// whether the caller owns the solve (and must complete + leave) or should
+// wait on call.done.
+func (f *planFlight) join(key string) (call *flightCall, leader bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c, false
+	}
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome and releases the waiters. The
+// caller must have cached the plan first (see the ordering note above).
+func (f *planFlight) complete(key string, call *flightCall, plan chronos.Plan, err error) {
+	call.plan, call.err = plan, err
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(call.done)
+}

@@ -45,8 +45,9 @@ func (w *reuseRW) Header() http.Header         { return w.h }
 func (w *reuseRW) WriteHeader(code int)        { w.code = code }
 func (w *reuseRW) Write(p []byte) (int, error) { return len(p), nil }
 
-// zeroAllocRequest builds the reusable request/writer pair for one handler.
-func zeroAllocRequest(t *testing.T, path string, payload any) (*rewindBody, *http.Request, *reuseRW) {
+// zeroAllocRequest builds the reusable request/writer pair for one handler
+// (shared with the direct-handler benchmarks in bench_test.go).
+func zeroAllocRequest(t testing.TB, path string, payload any) (*rewindBody, *http.Request, *reuseRW) {
 	t.Helper()
 	raw, err := json.Marshal(payload)
 	if err != nil {

@@ -76,25 +76,31 @@ fi
 
 if $check_mode; then
   echo "== bench regression gate vs $baseline (ns >${TOLERANCE}% or any alloc growth fails) =="
-  raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkAdmitHandler$')"
+  raw="$(run_bench ./internal/server/ 'BenchmarkPlanHandlerCached$|BenchmarkPlanHandlerCold$|BenchmarkAdmitHandler$')"
   echo "$raw"
-  now_ns="$(min_ns "$raw" BenchmarkPlanHandlerCached)"
-  base_ns="$(base_field "$baseline" plan_cached ns_per_op)"
-  [ -n "$now_ns" ] || { echo "FAIL: no BenchmarkPlanHandlerCached result"; exit 1; }
-  [ -n "$base_ns" ] || { echo "FAIL: no plan_cached.ns_per_op in $baseline"; exit 1; }
-  awk -v now="$now_ns" -v base="$base_ns" -v tol="$TOLERANCE" 'BEGIN {
-    pct = (now / base - 1) * 100
-    printf "cached plan: %.0f ns/op now vs %.0f ns/op baseline (%+.1f%%)\n", now, base, pct
-    if (pct > tol) {
-      printf "FAIL: cached-plan path regressed %.1f%% (> %s%% tolerance)\n", pct, tol
-      exit 1
-    }
-    printf "OK: within the %s%% regression tolerance\n", tol
-  }'
+  # ns/op gates: cached plan (the hot path) and cold plan (the solver
+  # engine). Both compare against the committed baseline with the same
+  # percentage tolerance. Baselines that predate a gate skip it.
+  for gate in "plan_cached:BenchmarkPlanHandlerCached" "plan_cold:BenchmarkPlanHandlerCold"; do
+    entry="${gate%%:*}" bench="${gate##*:}"
+    base_ns="$(base_field "$baseline" "$entry" ns_per_op)"
+    [ -n "$base_ns" ] || { echo "skip: no $entry.ns_per_op in $baseline"; continue; }
+    now_ns="$(min_ns "$raw" "$bench")"
+    [ -n "$now_ns" ] || { echo "FAIL: no $bench result"; exit 1; }
+    awk -v now="$now_ns" -v base="$base_ns" -v tol="$TOLERANCE" -v entry="$entry" 'BEGIN {
+      pct = (now / base - 1) * 100
+      printf "%s: %.0f ns/op now vs %.0f ns/op baseline (%+.1f%%)\n", entry, now, base, pct
+      if (pct > tol) {
+        printf "FAIL: %s regressed %.1f%% (> %s%% tolerance)\n", entry, pct, tol
+        exit 1
+      }
+      printf "OK: %s within the %s%% regression tolerance\n", entry, tol
+    }'
+  done
   # Allocation gate: allocs/op is deterministic, so any growth over the
   # baseline is a real regression — no tolerance. Baselines written before
   # allocs were tracked simply skip this gate.
-  for gate in "plan_cached:BenchmarkPlanHandlerCached" "admit:BenchmarkAdmitHandler"; do
+  for gate in "plan_cached:BenchmarkPlanHandlerCached" "plan_cold:BenchmarkPlanHandlerCold" "admit:BenchmarkAdmitHandler"; do
     entry="${gate%%:*}" bench="${gate##*:}"
     base_allocs="$(base_field "$baseline" "$entry" allocs_per_op)"
     [ -n "$base_allocs" ] || { echo "skip: no $entry.allocs_per_op in $baseline"; continue; }
@@ -109,6 +115,27 @@ if $check_mode; then
     }'
   done
   echo "OK: no allocation regressions"
+  # Replay throughput floor: jobs/sec is a rate (higher is better), so the
+  # gate is the mirror of the ns/op one — fail when the rate drops more than
+  # the tolerance below the committed baseline.
+  replay_base="$(base_field "$baseline" replay jobs_per_sec)"
+  if [ -n "$replay_base" ]; then
+    replay_raw="$(run_bench ./internal/replay/ 'BenchmarkReplayThroughput$')"
+    echo "$replay_raw"
+    replay_now="$(max_metric "$replay_raw" BenchmarkReplayThroughput jobs/sec)"
+    [ -n "$replay_now" ] || { echo "FAIL: no BenchmarkReplayThroughput result"; exit 1; }
+    awk -v now="$replay_now" -v base="$replay_base" -v tol="$TOLERANCE" 'BEGIN {
+      pct = (now / base - 1) * 100
+      printf "replay: %.0f jobs/sec now vs %.0f baseline (%+.1f%%)\n", now, base, pct
+      if (-pct > tol) {
+        printf "FAIL: replay throughput dropped %.1f%% (> %s%% tolerance)\n", -pct, tol
+        exit 1
+      }
+      printf "OK: replay within the %s%% throughput tolerance\n", tol
+    }'
+  else
+    echo "skip: no replay.jobs_per_sec in $baseline"
+  fi
   exit 0
 fi
 
