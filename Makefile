@@ -28,7 +28,7 @@ bench-json: ## regenerate the per-PR perf trajectory JSON (BENCH_<n>.json)
 	./scripts/bench-json.sh $(or $(OUT),bench.json)
 
 bench-check: ## fail on >10% cached- or cold-plan slowdown, any alloc growth, or a replay throughput drop vs baseline
-	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_9.json)
+	./scripts/bench-json.sh --check $(or $(BASELINE),BENCH_10.json)
 
 bench-diff: ## report the delta between the last two committed BENCH_*.json
 	./scripts/bench-diff.sh

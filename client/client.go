@@ -273,11 +273,12 @@ type ReplayRequest struct {
 // --- endpoint methods -----------------------------------------------------
 
 // Plan asks for one job's plan, routed client-side to the ring owner of its
-// plan key.
+// plan key, failing over to the key's ring successors on transport errors
+// (the replicas that hold the key's warm copies when the fleet runs with a
+// replication factor).
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
 	var resp PlanResponse
-	base := c.planTarget(req.Strategy, req.Job, req.Econ)
-	if err := c.postJSON(ctx, base, "/v1/plan", req, &resp); err != nil {
+	if err := c.postPlanKeyed(ctx, req.Strategy, req.Job, req.Econ, "/v1/plan", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -287,11 +288,50 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 // servers key admission by the same plan key).
 func (c *Client) Admit(ctx context.Context, req AdmitRequest) (*AdmitResponse, error) {
 	var resp AdmitResponse
-	base := c.planTarget(req.Strategy, req.Job, req.Econ)
-	if err := c.postJSON(ctx, base, "/v1/admit", req, &resp); err != nil {
+	if err := c.postPlanKeyed(ctx, req.Strategy, req.Job, req.Econ, "/v1/admit", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// postPlanKeyed posts a plan-keyed request to its ring owner, retrying the
+// key's next ring successors on transport errors. An HTTP-level error
+// (*Error) is a live replica's answer and is returned as-is; only a replica
+// we could not talk to at all triggers failover, and a dead context stops
+// the walk (the caller gave up, not the replica).
+func (c *Client) postPlanKeyed(ctx context.Context, strategy string, job chronos.JobParams, econ chronos.Econ, path string, req, resp any) error {
+	targets := c.planTargets(strategy, job, econ)
+	var err error
+	for _, base := range targets {
+		err = c.postJSON(ctx, base, path, req, resp)
+		var httpErr *Error
+		if err == nil || errors.As(err, &httpErr) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// planTargets resolves the replicas for a plan-keyed request in preference
+// order: the ring owner of the key followed by its successors (the fleet's
+// replica set for the key). Requests whose key cannot be computed (unknown
+// strategy name — the server will answer 400 anyway) and single-replica
+// clients get one round-robin target.
+func (c *Client) planTargets(strategy string, job chronos.JobParams, econ chronos.Econ) []string {
+	if c.ring == nil {
+		return c.replicas[:1:1]
+	}
+	canon, ok := plankey.CanonicalStrategy(strategy)
+	if !ok {
+		return []string{c.next()}
+	}
+	// Two targets: the owner plus its first successor. Matches the smallest
+	// useful server-side replication factor; with R = 1 the successor still
+	// answers correctly (one forward hop or a local fallback).
+	if targets := c.ring.Successors(plankey.Key(canon, job, econ), 2); len(targets) > 0 {
+		return targets
+	}
+	return []string{c.next()}
 }
 
 // AdmitBatch asks for admission decisions for several same-tenant jobs.

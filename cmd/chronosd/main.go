@@ -9,6 +9,7 @@
 //	         [-workers N] [-max-body 1048576] [-shutdown-grace 10s]
 //	         [-tenants tenants.json]
 //	         [-self http://host:port -peers url1,url2,... | -ring ring.json]
+//	         [-heartbeat-interval 1s] [-suspect-after 3] [-replication 1]
 //	         [-escrow] [-data-dir /var/lib/chronosd]
 //	         [-escrow-lease-ttl 15s] [-escrow-lease-fraction 0.1]
 //	         [-snapshot-interval 30s]
@@ -38,8 +39,16 @@
 // consistent-hash ring over the fleet: /v1/plan and /v1/admit requests whose
 // plan key another replica owns are proxied there, so the fleet's LRU caches
 // partition the keyspace instead of overlapping. An unreachable owner
-// degrades to local computation (per-peer circuit breaking), never to a
-// failed request.
+// degrades to local computation (per-peer circuit breaking with a single
+// half-open probe per cooldown), never to a failed request.
+//
+// The fleet is self-managing: every -heartbeat-interval each replica probes
+// its peers' /healthz, evicts a member from its effective ring view after
+// -suspect-after consecutive failures, and re-admits it once probes recover
+// (warm-handing the remapped cache entries back). With -replication R > 1
+// the owner of each plan key pushes hot cache entries to the key's next R-1
+// ring successors, so a forward that finds the owner dead is served warm
+// from a replica instead of recomputing cold.
 //
 // With -escrow, tenant budgets are fleet-exact instead of per-replica: the
 // ring owner of each tenant key holds the authoritative pool and every other
@@ -93,6 +102,9 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated fleet base URLs (ring membership)")
 		ringPath      = flag.String("ring", "", "ring membership file (JSON {self, peers}); SIGHUP reloads it")
 		forwardTO     = flag.Duration("forward-timeout", 2*time.Second, "cross-replica forward timeout before local fallback")
+		heartbeat     = flag.Duration("heartbeat-interval", time.Second, "peer liveness probe interval for health-driven membership (0 disables)")
+		suspectAfter  = flag.Int("suspect-after", 3, "consecutive failed probes before a ring member is evicted")
+		replication   = flag.Int("replication", 1, "hot-key copy count R: owner plus R-1 ring successors hold each cached plan")
 		escrow        = flag.Bool("escrow", false, "fleet-exact tenant budgets via the escrow ledger (off = per-replica approximation)")
 		dataDir       = flag.String("data-dir", "", "durability directory for the escrow snapshot+WAL and the plan-cache dump (empty = memory only)")
 		leaseTTL      = flag.Duration("escrow-lease-ttl", 15*time.Second, "escrow lease lifetime without a renewal before the owner reclaims it")
@@ -178,6 +190,9 @@ func main() {
 		Self:                   membership.Self,
 		Peers:                  membership.Peers,
 		ForwardTimeout:         *forwardTO,
+		HeartbeatInterval:      *heartbeat,
+		SuspectAfter:           *suspectAfter,
+		Replication:            *replication,
 		Escrow:                 *escrow,
 		Store:                  store,
 		EscrowLeaseTTL:         *leaseTTL,

@@ -49,6 +49,13 @@ const (
 	// StageFlightWait is time a cold plan request spent parked behind another
 	// request's in-flight solve for the same plan key (singleflight waiter).
 	StageFlightWait
+	// StageHeartbeat is one full health-monitor probe round over the
+	// configured membership (not request-scoped; observed directly into the
+	// stage histogram by the monitor goroutine).
+	StageHeartbeat
+	// StageHandoff is one warm cache handoff after a membership change:
+	// dump, ownership diff, and the pushes to every new owner.
+	StageHandoff
 
 	// NumStages sizes per-stage arrays; keep it last.
 	NumStages
@@ -56,7 +63,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"quantize", "cache", "solve", "debit", "escrow", "forward", "replay_emit",
-	"flight_wait",
+	"flight_wait", "heartbeat", "handoff",
 }
 
 // String returns the stable label used in logs, metrics, and /debug/traces.

@@ -221,6 +221,99 @@ func TestRendezvousTieBreak(t *testing.T) {
 	}
 }
 
+// --- successor placement --------------------------------------------------
+
+// TestSuccessorsLeadWithOwner is the agreement property replication depends
+// on: for every key the successor list starts with exactly the member Owner
+// reports, and contains n distinct members.
+func TestSuccessorsLeadWithOwner(t *testing.T) {
+	r := New(fleet(5), 0)
+	for _, key := range sampleKeys(2000) {
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) = %v, want 3 members", key, succ)
+		}
+		owner, _ := r.Owner(key)
+		if succ[0] != owner {
+			t.Fatalf("Successors(%q)[0] = %q, Owner says %q", key, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors(%q, 3) repeats %q: %v", key, n, succ)
+			}
+			seen[n] = true
+		}
+		if b := r.SuccessorsBytes([]byte(key), 3); len(b) != 3 ||
+			b[0] != succ[0] || b[1] != succ[1] || b[2] != succ[2] {
+			t.Fatalf("SuccessorsBytes(%q) = %v, Successors = %v", key, b, succ)
+		}
+	}
+}
+
+// TestSuccessorInheritsOnEviction is the failover property: when a key's
+// owner leaves the ring, the new owner is the old first successor — exactly
+// the member holding the key's replica copy under R=2 placement.
+func TestSuccessorInheritsOnEviction(t *testing.T) {
+	nodes := fleet(5)
+	r := New(nodes, 0)
+	for _, key := range sampleKeys(2000) {
+		succ := r.Successors(key, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%q, 2) = %v", key, succ)
+		}
+		survivors := make([]string, 0, len(nodes)-1)
+		for _, n := range nodes {
+			if n != succ[0] {
+				survivors = append(survivors, n)
+			}
+		}
+		newOwner, ok := New(survivors, 0).Owner(key)
+		if !ok || newOwner != succ[1] {
+			t.Fatalf("after evicting %s, Owner(%q) = %q, want first successor %q",
+				succ[0], key, newOwner, succ[1])
+		}
+	}
+}
+
+// TestSuccessorsClamp covers the edges: n above the member count is clamped,
+// an empty ring and non-positive n yield nil.
+func TestSuccessorsClamp(t *testing.T) {
+	r := New(fleet(3), 0)
+	if got := r.Successors("key", 10); len(got) != 3 {
+		t.Fatalf("Successors(key, 10) on a 3-ring = %v, want all 3 members", got)
+	}
+	if got := r.Successors("key", 0); got != nil {
+		t.Fatalf("Successors(key, 0) = %v, want nil", got)
+	}
+	if got := New(nil, 0).Successors("key", 2); got != nil {
+		t.Fatalf("empty ring Successors = %v, want nil", got)
+	}
+}
+
+// TestSuccessorsCollisionTieBreak drives the same tied-point ring as
+// TestRendezvousTieBreak through Successors: the rendezvous winner must lead
+// the list without duplicating itself further down.
+func TestSuccessorsCollisionTieBreak(t *testing.T) {
+	r := &Ring{
+		nodes: []string{"a", "b"},
+		points: []point{
+			{hash: 1 << 32, node: "a"},
+			{hash: 1 << 32, node: "b"},
+		},
+	}
+	for _, key := range sampleKeys(2000) {
+		succ := r.Successors(key, 2)
+		owner, _ := r.Owner(key)
+		if len(succ) != 2 || succ[0] != owner {
+			t.Fatalf("Successors(%q, 2) = %v, Owner = %q", key, succ, owner)
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("Successors(%q, 2) duplicated the tie-break winner: %v", key, succ)
+		}
+	}
+}
+
 // --- membership config ----------------------------------------------------
 
 func TestMembershipMembers(t *testing.T) {

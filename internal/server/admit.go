@@ -198,8 +198,11 @@ func (s *Server) solveAndCache(tr *obs.Trace, key string, strat chronos.Strategy
 		plan = chronos.Plan{}
 	} else {
 		// Cache before leaving the flight table so later misses for this key
-		// hit the LRU instead of starting a fresh solve.
+		// hit the LRU instead of starting a fresh solve, then enqueue the
+		// entry's async push to its ring successors (no-op unless this
+		// replica owns the key and replication is on).
 		s.cache.put(key, plan)
+		s.replicateHot(key, plan)
 	}
 	s.flight.complete(key, call, plan, err)
 	return plan, false, err

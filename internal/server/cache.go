@@ -137,6 +137,21 @@ func (c *planCache) getBytes(key []byte) (chronos.Plan, bool) {
 	return el.Value.(*cacheEntry).plan, true
 }
 
+// peekBytes reports whether key is cached without touching recency or the
+// hit/miss counters. The replica-read path uses it to decide whether a
+// local replica copy can answer for a dead owner; the actual serve goes
+// through getBytes, which does the accounting.
+func (c *planCache) peekBytes(key []byte) bool {
+	if c == nil {
+		return false
+	}
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[string(key)]
+	return ok
+}
+
 // frontierBytes returns the entry's precomputed capped-solve table, nil
 // when the key is cold or no squeeze has built one yet. Does not touch
 // recency or hit counters: every caller just did a getBytes for the same

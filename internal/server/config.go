@@ -78,9 +78,25 @@ type Config struct {
 	ForwardTimeout time.Duration
 	// BreakerThreshold is the consecutive forward failures that open a
 	// peer's circuit; BreakerCooldown is how long an open circuit skips the
-	// peer. Defaults 3 and 5 s.
+	// peer before admitting a single half-open probe. Defaults 3 and 5 s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// HeartbeatInterval turns on health-driven membership: every interval,
+	// this replica probes each configured member's GET /healthz and evicts
+	// or re-admits members from its effective ring view (see health.go).
+	// Zero (the default) disables the monitor — membership stays static.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the consecutive failed probes before a member is
+	// suspected dead and evicted; ReadmitAfter the consecutive successes
+	// before a suspect is re-admitted. Defaults 3 and 2.
+	SuspectAfter int
+	ReadmitAfter int
+	// Replication is the hot-key copy count R: each cached plan lives on
+	// its ring owner plus the next R−1 ring successors (the owner pushes
+	// copies asynchronously), and forwards read from a replica when the
+	// owner is unreachable. 1 (the default) keeps single-copy placement.
+	Replication int
 
 	// Logger receives structured logs: sampled per-request lines (trace ID,
 	// route, status, stage breakdown) and unsampled 5xx lines. Nil disables
@@ -179,6 +195,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
 	}
 	if c.EscrowLeaseTTL <= 0 {
 		c.EscrowLeaseTTL = tenant.DefaultLeaseTTL

@@ -54,6 +54,19 @@ type serverMetrics struct {
 	// guard header and were therefore computed locally.
 	ringReceivedForwards metrics.Counter
 
+	// Fleet-health series. ringHeartbeatFails counts failed liveness probes
+	// per configured member; ringEvictions/ringReadmits count suspect/alive
+	// membership transitions this replica applied to its effective ring.
+	ringHeartbeatFails map[string]*metrics.Counter // by peer URL
+	ringEvictions      metrics.Counter
+	ringReadmits       metrics.Counter
+	// ringReplicaReads counts plan-keyed requests answered from a replica
+	// copy (local or remote) while the key's owner was unreachable;
+	// ringHandoffEntries counts cache entries streamed to their new owners
+	// on membership changes.
+	ringReplicaReads   metrics.Counter
+	ringHandoffEntries metrics.Counter
+
 	// encodeFailures counts responses whose JSON encoding failed (answered
 	// as HTTP 500 and logged at warn with the trace ID).
 	encodeFailures metrics.Counter
@@ -116,6 +129,11 @@ func (m *serverMetrics) ringPeerError(peer string) {
 	m.peerCounter(m.ringErrors, peer).Inc()
 }
 
+// ringHeartbeatFailure counts one failed liveness probe of member.
+func (m *serverMetrics) ringHeartbeatFailure(member string) {
+	m.peerCounter(m.ringHeartbeatFails, member).Inc()
+}
+
 // replayStarted marks one /v1/replay stream opening; the returned func
 // closes it. Jobs and events emitted mid-stream are counted via replayEmit.
 func (m *serverMetrics) replayStarted() (done func()) {
@@ -155,15 +173,16 @@ type endpointMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	m := &serverMetrics{
-		endpoints:      make(map[string]*endpointMetrics),
-		plans:          make(map[string]*metrics.Counter),
-		tenants:        make(map[string]*tenantMetrics),
-		ringForwards:   make(map[string]*metrics.Counter),
-		ringErrors:     make(map[string]*metrics.Counter),
-		escrowGrants:   make(map[string]*metrics.Counter),
-		escrowTopups:   make(map[string]*metrics.Counter),
-		escrowReclaims: make(map[string]*metrics.Counter),
-		start:          time.Now(),
+		endpoints:          make(map[string]*endpointMetrics),
+		plans:              make(map[string]*metrics.Counter),
+		tenants:            make(map[string]*tenantMetrics),
+		ringForwards:       make(map[string]*metrics.Counter),
+		ringErrors:         make(map[string]*metrics.Counter),
+		ringHeartbeatFails: make(map[string]*metrics.Counter),
+		escrowGrants:       make(map[string]*metrics.Counter),
+		escrowTopups:       make(map[string]*metrics.Counter),
+		escrowReclaims:     make(map[string]*metrics.Counter),
+		start:              time.Now(),
 	}
 	for s := range m.stageSeconds {
 		m.stageSeconds[s] = metrics.NewLatencyHistogram(stageBuckets()...)
@@ -499,6 +518,21 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *planCache, reg *tena
 	fmt.Fprintln(w, "# HELP chronosd_ring_received_forwards_total Requests served under the single-hop forwarding guard.")
 	fmt.Fprintln(w, "# TYPE chronosd_ring_received_forwards_total counter")
 	fmt.Fprintf(w, "chronosd_ring_received_forwards_total %d\n", m.ringReceivedForwards.Value())
+	fmt.Fprintln(w, "# HELP chronosd_ring_heartbeat_failures_total Failed liveness probes, by configured member.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_heartbeat_failures_total counter")
+	m.writePeerLabeled(w, "chronosd_ring_heartbeat_failures_total", m.ringHeartbeatFails)
+	fmt.Fprintln(w, "# HELP chronosd_ring_evictions_total Members evicted from this replica's effective ring by the health monitor.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_evictions_total counter")
+	fmt.Fprintf(w, "chronosd_ring_evictions_total %d\n", m.ringEvictions.Value())
+	fmt.Fprintln(w, "# HELP chronosd_ring_readmits_total Suspected members re-admitted after recovery.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_readmits_total counter")
+	fmt.Fprintf(w, "chronosd_ring_readmits_total %d\n", m.ringReadmits.Value())
+	fmt.Fprintln(w, "# HELP chronosd_ring_replica_reads_total Plan-keyed requests answered from a replica copy while the owner was unreachable.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_replica_reads_total counter")
+	fmt.Fprintf(w, "chronosd_ring_replica_reads_total %d\n", m.ringReplicaReads.Value())
+	fmt.Fprintln(w, "# HELP chronosd_ring_handoff_entries_total Cache entries streamed to their new owners on membership changes.")
+	fmt.Fprintln(w, "# TYPE chronosd_ring_handoff_entries_total counter")
+	fmt.Fprintf(w, "chronosd_ring_handoff_entries_total %d\n", m.ringHandoffEntries.Value())
 
 	fmt.Fprintln(w, "# HELP chronosd_response_encode_failures_total Responses whose JSON encoding failed (answered as HTTP 500).")
 	fmt.Fprintln(w, "# TYPE chronosd_response_encode_failures_total counter")

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"chronos"
+	"chronos/internal/obs"
+)
+
+// Hot-key replication and warm handoff. Writes stay single-owner — the ring
+// owner of a plan key is the one replica that solves and caches it — but
+// with replication factor R > 1 the owner asynchronously pushes each entry
+// it solves to the key's next R−1 ring successors over POST /v1/cache/push.
+// Reads may then use any replica: forwardToOwner walks the same successor
+// list when the owner's circuit is open, so a previously-hot key survives
+// its owner dying without a cold recompute. The same push endpoint carries
+// the warm handoff: when a membership change remaps arcs, the old view's
+// holders stream the remapped entries to their new owners instead of
+// letting that slice of the keyspace go cold.
+
+// replicaPushBatch caps the entries drained into one replication push, and
+// pushChunk caps the entries of one POST /v1/cache/push request (the body
+// must stay well under the receiver's MaxBodyBytes).
+const (
+	replicaPushBatch = 256
+	pushChunk        = 256
+)
+
+// replicator is the background fan-out goroutine's inbox. Pushes are
+// best-effort: a full channel drops the entry (the replica would be warmed
+// by the next solve or the handoff path), so the solve path never blocks on
+// a slow peer.
+type replicator struct {
+	ch chan savedPlan
+}
+
+// replicateHot enqueues one freshly solved entry for push to its replica
+// set. Called by the singleflight leader right after the cache fill; the
+// owner check keeps a drifted non-owner (local fallback solves) from
+// spraying copies.
+func (s *Server) replicateHot(key string, plan chronos.Plan) {
+	if s.replic == nil {
+		return
+	}
+	rs := s.ringSt.Load()
+	if rs == nil || rs.replication <= 1 {
+		return
+	}
+	if owner, ok := rs.ring.Owner(key); !ok || owner != rs.self {
+		return
+	}
+	select {
+	case s.replic.ch <- savedPlan{Key: key, Plan: plan}:
+	default:
+	}
+}
+
+// runReplicator drains the replication inbox in batches, grouping entries by
+// target replica so a burst of solves costs one push per peer, not one per
+// entry. Started by New when cfg.Replication > 1; stopped by Close.
+func (s *Server) runReplicator() {
+	defer close(s.replicDone)
+	for {
+		select {
+		case <-s.replicStop:
+			return
+		case sp := <-s.replic.ch:
+			batch := append(make([]savedPlan, 0, replicaPushBatch), sp)
+		drain:
+			for len(batch) < replicaPushBatch {
+				select {
+				case next := <-s.replic.ch:
+					batch = append(batch, next)
+				default:
+					break drain
+				}
+			}
+			s.pushReplicas(batch)
+		}
+	}
+}
+
+// pushReplicas fans one batch out to each entry's successor replicas.
+func (s *Server) pushReplicas(batch []savedPlan) {
+	rs := s.ringSt.Load()
+	if rs == nil || rs.replication <= 1 {
+		return
+	}
+	byPeer := make(map[string][]savedPlan)
+	for _, sp := range batch {
+		for _, n := range rs.ring.Successors(sp.Key, rs.replication) {
+			if n == rs.self {
+				continue
+			}
+			byPeer[n] = append(byPeer[n], sp)
+		}
+	}
+	for peer, plans := range byPeer {
+		s.pushPlans(peer, plans)
+	}
+}
+
+// pushPlans POSTs plans to peer's /v1/cache/push in bounded chunks,
+// returning how many entries the peer acknowledged loading. Failures are
+// logged and skipped: replication and handoff are warmth optimizations, a
+// missed copy just means a cold solve later.
+func (s *Server) pushPlans(peer string, plans []savedPlan) int {
+	loaded := 0
+	for len(plans) > 0 {
+		chunk := plans
+		if len(chunk) > pushChunk {
+			chunk = chunk[:pushChunk]
+		}
+		plans = plans[len(chunk):]
+		raw, err := json.Marshal(cacheOwnedResponse{Plans: chunk})
+		if err != nil {
+			s.logOp().Error("cache push encode failed", "error", err.Error())
+			return loaded
+		}
+		req, err := http.NewRequest(http.MethodPost, peer+"/v1/cache/push", bytes.NewReader(raw))
+		if err != nil {
+			return loaded
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceHeader, obs.MintID())
+		resp, err := s.forwardClient.Do(req)
+		if err != nil {
+			s.logOp().Warn("cache push: peer unreachable", "peer", peer, "error", err.Error())
+			return loaded
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			s.logOp().Warn("cache push: peer refused", "peer", peer, "status", resp.StatusCode)
+			return loaded
+		}
+		loaded += len(chunk)
+	}
+	return loaded
+}
+
+// handleCachePush ingests replicated or handed-off entries into the local
+// cache. Internal fleet surface like /v1/escrow/lease: plans are a pure
+// function of their key, so loading a stale or duplicate copy is harmless.
+func (s *Server) handleCachePush(w http.ResponseWriter, r *http.Request) {
+	var req cacheOwnedResponse
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Plans) > maxCacheWarmEntries {
+		req.Plans = req.Plans[:maxCacheWarmEntries]
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]int{"loaded": s.cache.load(req.Plans)})
+}
+
+// handoffRemapped streams the hot entries whose ownership moved in a
+// membership change (old → cur) to their new owners, capped per target at
+// maxCacheWarmEntries like the pull-side warm path. Runs in the background
+// from applyRing: a reshard should cost the fleet a bounded push, not a
+// cold keyspace slice.
+func (s *Server) handoffRemapped(old, cur *ringState) {
+	start := time.Now()
+	byPeer := make(map[string][]savedPlan)
+	for _, e := range s.cache.dump() {
+		owner, ok := cur.ring.Owner(e.Key)
+		if !ok || owner == cur.self {
+			continue
+		}
+		if oldOwner, ok := old.ring.Owner(e.Key); ok && oldOwner == owner {
+			// Ownership did not move; the owner warmed this key on its own
+			// write path.
+			continue
+		}
+		if len(byPeer[owner]) < maxCacheWarmEntries {
+			byPeer[owner] = append(byPeer[owner], e)
+		}
+	}
+	total := 0
+	for peer, plans := range byPeer {
+		total += s.pushPlans(peer, plans)
+	}
+	if total > 0 {
+		s.metrics.ringHandoffEntries.Add(uint64(total))
+		s.logOp().Info("cache handoff", "entries", total, "targets", len(byPeer),
+			"members", len(cur.ring.Nodes()))
+	}
+	s.metrics.stageSeconds[obs.StageHandoff].Observe(time.Since(start).Seconds())
+}

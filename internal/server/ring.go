@@ -32,6 +32,10 @@ type ringState struct {
 	ring  *ring.Ring
 	self  string
 	peers map[string]*peerState // by member URL, excluding self
+	// replication is the hot-key copy count R: the owner plus the next R−1
+	// ring successors hold each cached plan, and a forward that cannot reach
+	// the owner reads from a replica before falling back to cold compute.
+	replication int
 	// selfHdr is the precomputed ServedByHeader value assigned into hot
 	// responses' header maps; immutable for the ringState's lifetime, so
 	// sharing one slice across requests is safe.
@@ -47,53 +51,139 @@ type peerState struct {
 	breaker breaker
 }
 
-// breaker is a consecutive-failure circuit breaker. After threshold
-// consecutive forward failures the circuit opens for cooldown, during which
-// forwards to the peer are skipped in favor of local computation — keeping a
-// dead replica from adding a connect-timeout to every request it used to
-// own.
+// breaker is a consecutive-failure circuit breaker with a half-open probe.
+// After threshold consecutive forward failures the circuit opens for
+// cooldown, during which forwards to the peer are skipped in favor of local
+// computation — keeping a dead replica from adding a connect-timeout to
+// every request it used to own. When the cooldown expires, exactly ONE
+// request wins the CAS in allow and becomes the half-open probe; everyone
+// else keeps falling back locally until that probe's verdict lands. A
+// successful probe closes the circuit, a failed one re-opens it for a fresh
+// cooldown — so a still-dead peer costs at most one connect-timeout per
+// cooldown window, not threshold of them.
+//
+// The whole state machine lives in one atomic word (gate) so a trip is a
+// single CAS: there is no window where the state says open but the deadline
+// is stale, and two goroutines can never both observe the threshold
+// crossing (the old Add-then-Store counter reset allowed exactly that).
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
-	failures  atomic.Int32
-	openUntil atomic.Int64 // unix nanos; 0 = closed
+	// failures counts consecutive failures while the circuit is closed,
+	// advanced by CAS so a concurrent failure is never clobbered.
+	failures atomic.Int32
+	// gate encodes the state: gateClosed, gateProbing (a half-open probe is
+	// in flight), or a positive open-until deadline in unix nanos.
+	gate atomic.Int64
 }
 
-// allow reports whether a forward may be attempted now.
+const (
+	gateClosed  int64 = 0
+	gateProbing int64 = -1
+	// gateExpired is an already-elapsed open deadline: the state an aborted
+	// probe restores, so the next request immediately becomes the new probe.
+	gateExpired int64 = 1
+)
+
+// allow reports whether a forward may be attempted now. Winning the
+// open→probing CAS claims the single half-open probe slot; the caller MUST
+// settle it by calling fail, success, or abort.
 func (b *breaker) allow() bool {
-	return time.Now().UnixNano() >= b.openUntil.Load()
-}
-
-// fail records one forward failure, opening the circuit at the threshold.
-func (b *breaker) fail() {
-	if int(b.failures.Add(1)) >= b.threshold {
-		b.openUntil.Store(time.Now().Add(b.cooldown).UnixNano())
-		b.failures.Store(0)
+	g := b.gate.Load()
+	switch {
+	case g == gateClosed:
+		return true
+	case g == gateProbing:
+		return false
+	default:
+		if time.Now().UnixNano() < g {
+			return false
+		}
+		return b.gate.CompareAndSwap(g, gateProbing)
 	}
 }
 
-// success closes the circuit.
-func (b *breaker) success() {
-	b.failures.Store(0)
-	b.openUntil.Store(0)
+// fail records one forward failure: a failed half-open probe re-opens the
+// circuit immediately; a closed-state failure advances the consecutive
+// counter and trips at the threshold. A failure while the circuit is
+// already open (an in-flight straggler) only bumps the counter — it never
+// extends the open window, so a trickle of stragglers cannot postpone the
+// next probe forever.
+func (b *breaker) fail() {
+	if b.gate.CompareAndSwap(gateProbing, time.Now().Add(b.cooldown).UnixNano()) {
+		b.failures.Store(0)
+		return
+	}
+	for {
+		n := b.failures.Load()
+		if !b.failures.CompareAndSwap(n, n+1) {
+			continue
+		}
+		if int(n+1) >= b.threshold && b.gate.CompareAndSwap(gateClosed, time.Now().Add(b.cooldown).UnixNano()) {
+			b.failures.Store(0)
+		}
+		return
+	}
 }
 
-// SetRing swaps the fleet membership, rebuilding the consistent-hash ring.
-// A zero Membership disables sharding (every key is computed locally).
-// chronosd calls this on SIGHUP alongside SetTenants, so one signal reloads
-// both tenant budgets and ring membership. Circuit-breaker state carries
-// over for peers present in both the old and new membership.
+// success closes the circuit (and settles a half-open probe as passed).
+func (b *breaker) success() {
+	b.failures.Store(0)
+	b.gate.Store(gateClosed)
+}
+
+// abort releases a claimed half-open probe slot without judging the peer
+// (the client went away mid-probe, so the attempt proves nothing). The gate
+// is restored to an already-expired deadline: the next request becomes the
+// new probe instead of the slot leaking forever.
+func (b *breaker) abort() {
+	b.gate.CompareAndSwap(gateProbing, gateExpired)
+}
+
+// SetRing swaps the operator-configured fleet membership, rebuilding the
+// consistent-hash ring. A zero Membership disables sharding (every key is
+// computed locally). chronosd calls this on SIGHUP alongside SetTenants, so
+// one signal reloads both tenant budgets and ring membership.
+//
+// The configured membership is the operator's intent; the ring actually
+// served from is the EFFECTIVE membership — configured minus the members
+// the health monitor currently suspects dead (self is never suspect). A
+// reload therefore composes with health state instead of resurrecting a
+// replica the monitor just evicted.
 func (s *Server) SetRing(m ring.Membership) error {
 	if !m.Enabled() {
-		s.ringSt.Store(nil)
+		s.health.mu.Lock()
+		s.health.configured = ring.Membership{}
+		s.health.suspects, s.health.fails, s.health.oks = nil, nil, nil
+		s.health.mu.Unlock()
+		s.applyRing("", nil)
 		return nil
 	}
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	members := m.Members()
-	r := ring.New(members, s.cfg.RingVirtualNodes)
 	self := ring.NormalizeURL(m.Self)
+	s.health.mu.Lock()
+	s.health.configured = m
+	s.health.pruneLocked(m.Members())
+	members := s.health.effectiveLocked(self)
+	s.health.mu.Unlock()
+	s.applyRing(self, members)
+	return nil
+}
+
+// applyRing swaps in a new effective ring over members (nil disables
+// sharding). Circuit-breaker state carries over for peers present in both
+// the old and new view; an evicted peer's breaker is dropped, so a
+// re-admitted member starts with a closed circuit. When the member set
+// actually changed, the remapped slice of the hot cache is streamed to its
+// new owners in the background (warm handoff).
+func (s *Server) applyRing(self string, members []string) {
+	if len(members) == 0 {
+		s.ringSt.Store(nil)
+		return
+	}
+	r := ring.New(members, s.cfg.RingVirtualNodes)
 	old := s.ringSt.Load()
 	peers := make(map[string]*peerState, len(members))
 	for _, n := range r.Nodes() {
@@ -111,8 +201,30 @@ func (s *Server) SetRing(m ring.Membership) error {
 			cooldown:  s.cfg.BreakerCooldown,
 		}}
 	}
-	s.ringSt.Store(&ringState{ring: r, self: self, peers: peers, selfHdr: []string{self}})
-	return nil
+	cur := &ringState{
+		ring:        r,
+		self:        self,
+		peers:       peers,
+		replication: s.cfg.Replication,
+		selfHdr:     []string{self},
+	}
+	s.ringSt.Store(cur)
+	if old != nil && old.self == self && !sameMembers(old.ring.Nodes(), r.Nodes()) {
+		go s.handoffRemapped(old, cur)
+	}
+}
+
+// sameMembers compares two sorted member lists.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RingMembers returns the current membership view (empty when sharding is
@@ -127,11 +239,18 @@ func (s *Server) RingMembers() (self string, members []string) {
 
 // forwardToOwner implements the sharded serving path for one plan-keyed
 // request. It returns true when the response has been fully written (the
-// request was proxied to the owning replica); false means the caller must
-// compute locally — either because this replica owns the key, sharding is
-// off, the request already took its one forwarding hop, or the owner is
-// unreachable (circuit open or forward failed) and we fall back to local
-// computation rather than failing the request.
+// request was proxied to the owning replica or a live replica of the key);
+// false means the caller must compute locally — either because this replica
+// owns the key (or holds a replica copy of it), sharding is off, the
+// request already took its one forwarding hop, or no replica of the key is
+// reachable and we fall back to local computation rather than failing the
+// request.
+//
+// With replication factor R > 1 the key's targets are the owner followed by
+// the next R−1 ring successors — the replicas the owner pushes hot entries
+// to — tried in order, skipping any whose circuit is open. A response served
+// by a non-owner counts as a replica read: the warm copy answered while the
+// owner was down, which is the entire point of the replication factor.
 //
 // payload is the decoded request, re-marshaled for the forward so that
 // fields this replica resolved (e.g. tenant econ defaults) travel with it
@@ -155,31 +274,98 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path str
 	if !ok || owner == rs.self {
 		return false
 	}
-	peer := rs.peers[owner]
-	if peer == nil {
-		// Membership raced a reload between Owner and the peer lookup;
-		// serving locally is always safe.
-		return false
+	var body []byte // marshaled before the first actual forward attempt
+	for i, target := range rs.targetsFor(key, owner) {
+		if target == rs.self {
+			// This replica holds (or should hold) a replica copy of the key:
+			// serve it from the local cache instead of forwarding onward. A
+			// warm local copy is a replica read; a cold one just means the
+			// local fallback recomputes.
+			if i > 0 && s.cache.peekBytes(key) {
+				s.metrics.ringReplicaReads.Inc()
+			}
+			return false
+		}
+		peer := rs.peers[target]
+		if peer == nil {
+			// Membership raced a reload between Owner and the peer lookup;
+			// serving locally is always safe.
+			return false
+		}
+		if !peer.breaker.allow() {
+			continue
+		}
+		if body == nil {
+			var err error
+			if body, err = json.Marshal(payload); err != nil {
+				peer.breaker.abort()
+				return false
+			}
+		}
+		switch s.forwardTo(w, r, rs, peer, path, body) {
+		case fwdServed:
+			if i > 0 {
+				s.metrics.ringReplicaReads.Inc()
+			}
+			return true
+		case fwdClientGone:
+			// The client went away mid-forward. The peer's health is not in
+			// question — its breaker was released, not charged — and a local
+			// fallback would compute a plan nobody reads; drop the request.
+			return true
+		case fwdServeLocal:
+			s.metrics.ringLocalFallbacks.Inc()
+			return false
+		case fwdPeerDown:
+			// Breaker charged inside forwardTo; try the next replica.
+		}
 	}
-	if !peer.breaker.allow() {
-		s.metrics.ringLocalFallbacks.Inc()
-		return false
+	s.metrics.ringLocalFallbacks.Inc()
+	return false
+}
+
+// targetsFor returns the replicas to try for key, owner first. With R == 1
+// that is just the owner (no slice walk, no allocation beyond the literal);
+// with R > 1 the ring's successor list already leads with the owner.
+func (rs *ringState) targetsFor(key []byte, owner string) []string {
+	if rs.replication <= 1 {
+		return []string{owner}
 	}
-	body, err := json.Marshal(payload)
-	if err != nil {
-		return false
-	}
+	return rs.ring.SuccessorsBytes(key, rs.replication)
+}
+
+// forwardOutcome is one forward attempt's verdict.
+type forwardOutcome int
+
+const (
+	// fwdServed: the peer's response was relayed; the request is done.
+	fwdServed forwardOutcome = iota
+	// fwdPeerDown: the peer failed (unreachable, 5xx, or bad body); its
+	// breaker has been charged and the caller may try the next replica.
+	fwdPeerDown
+	// fwdServeLocal: the peer is healthy but declined (404 ownership
+	// drift); compute locally, trying further replicas would be wrong.
+	fwdServeLocal
+	// fwdClientGone: our client disconnected mid-forward; drop the request.
+	fwdClientGone
+)
+
+// forwardTo performs one forward attempt against peer and settles its
+// breaker: success/404 close it, failure charges it, a client disconnect
+// releases a claimed half-open probe without judging the peer.
+func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, rs *ringState, peer *peerState, path string, body []byte) forwardOutcome {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		peer.base+path, bytes.NewReader(body))
 	if err != nil {
-		return false
+		peer.breaker.abort()
+		return fwdServeLocal
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedFromHeader, rs.self)
-	// The trace ID travels with the forward so the owner's span record,
+	// The trace ID travels with the forward so the peer's span record,
 	// logs, and response carry the same ID this replica minted (or
-	// honored); the whole round trip — request out through body read — is
-	// one StageForward span on this side.
+	// honored); each attempt — request out through body read — is one
+	// StageForward span on this side.
 	tr := obs.FromContext(r.Context())
 	if tr != nil {
 		req.Header.Set(obs.TraceHeader, tr.ID)
@@ -189,37 +375,34 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path str
 	resp, err := s.forwardClient.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
-			// The client went away mid-forward. The peer's health is not in
-			// question — don't charge its breaker — and a local fallback
-			// would compute a plan nobody reads; drop the request.
-			return true
+			peer.breaker.abort()
+			return fwdClientGone
 		}
 		peer.breaker.fail()
-		s.metrics.ringPeerError(owner)
-		s.metrics.ringLocalFallbacks.Inc()
-		return false
+		s.metrics.ringPeerError(peer.base)
+		return fwdPeerDown
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= http.StatusInternalServerError {
-		// The owner answered but is unhealthy; treat like unreachable and
-		// compute locally rather than relaying its failure.
+		// The peer answered but is unhealthy; treat like unreachable and
+		// let the caller degrade rather than relaying its failure.
 		_, _ = io.Copy(io.Discard, resp.Body)
 		peer.breaker.fail()
-		s.metrics.ringPeerError(owner)
-		s.metrics.ringLocalFallbacks.Inc()
-		return false
+		s.metrics.ringPeerError(peer.base)
+		return fwdPeerDown
 	}
 	if resp.StatusCode == http.StatusNotFound {
 		// Config drift during a rolling rollout: this replica resolved the
-		// request (tenant lookup included) before forwarding, so an owner
-		// 404 means its view disagrees — serve locally instead of failing a
-		// request we know how to answer. The peer is healthy; don't touch
-		// the breaker failure count.
+		// request (tenant lookup included) before forwarding, so a peer 404
+		// means its view disagrees — serve locally instead of failing a
+		// request we know how to answer. The peer is demonstrably alive, so
+		// this settles a half-open probe as passed and resets the
+		// consecutive-failure count.
 		_, _ = io.Copy(io.Discard, resp.Body)
-		s.metrics.ringLocalFallbacks.Inc()
-		return false
+		peer.breaker.success()
+		return fwdServeLocal
 	}
-	// Buffer the full answer before committing the status line: an owner
+	// Buffer the full answer before committing the status line: a peer
 	// that stalls mid-body inside the forward timeout must degrade to local
 	// fallback, not to a 200 with a truncated JSON body the client cannot
 	// decode. Plan and admit answers are small; the cap only guards a
@@ -227,15 +410,15 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path str
 	relayed, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
 	if err != nil || len(relayed) > maxRelayBytes {
 		if r.Context().Err() != nil {
-			return true // client gone mid-read; same as above
+			peer.breaker.abort()
+			return fwdClientGone
 		}
 		peer.breaker.fail()
-		s.metrics.ringPeerError(owner)
-		s.metrics.ringLocalFallbacks.Inc()
-		return false
+		s.metrics.ringPeerError(peer.base)
+		return fwdPeerDown
 	}
 	peer.breaker.success()
-	s.metrics.ringForwarded(owner)
+	s.metrics.ringForwarded(peer.base)
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -244,7 +427,7 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, path str
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = w.Write(relayed)
-	return true
+	return fwdServed
 }
 
 // maxRelayBytes caps a buffered forwarded response. Far above any real plan

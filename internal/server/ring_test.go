@@ -1,12 +1,16 @@
 package server
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -72,6 +76,16 @@ func getMetricsText(t *testing.T, url string) string {
 		t.Fatal(err)
 	}
 	return string(body)
+}
+
+// postJSONErr is postJSON without the t.Fatal, safe to call from worker
+// goroutines (which must not terminate the test directly).
+func postJSONErr(url string, body any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return http.Post(url, "application/json", bytes.NewReader(raw))
 }
 
 // metricValue extracts the value of the first metrics line starting with
@@ -460,5 +474,289 @@ func TestFleetPinnedStrategyRoutesConsistently(t *testing.T) {
 	}
 	if len(served) != 1 {
 		t.Errorf("pinned-strategy key served by %d replicas, want exactly 1: %v", len(served), served)
+	}
+}
+
+// reqOwnedBy scans deadlines until it finds a plan request whose cache key
+// is owned by the given member on s's current ring view.
+func reqOwnedBy(t *testing.T, s *Server, owner string) planRequest {
+	t.Helper()
+	rs := s.ringSt.Load()
+	for d := 0; d < 4096; d++ {
+		job := testJob()
+		job.Deadline = 100 + float64(d)
+		if o, ok := rs.ring.Owner(planKey("", job, testEcon())); ok && o == owner {
+			return planRequest{Job: job, Econ: testEcon()}
+		}
+	}
+	t.Fatalf("no key owned by %q in 4096 candidates", owner)
+	return planRequest{}
+}
+
+// --- breaker state machine ------------------------------------------------
+
+// TestBreakerConcurrentTripOpensOnce races many failures into one breaker
+// under -race: the counter advances by CAS and the trip is a single
+// closed→open CAS, so no interleaving may leave the circuit closed past the
+// threshold.
+func TestBreakerConcurrentTripOpensOnce(t *testing.T) {
+	b := &breaker{threshold: 8, cooldown: time.Hour}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.fail()
+		}()
+	}
+	wg.Wait()
+	if b.allow() {
+		t.Fatal("32 concurrent failures against threshold 8 left the circuit closed")
+	}
+}
+
+// TestBreakerStragglerDoesNotExtendOpenWindow pins the fix for the old
+// Add-then-Store counter: a failure landing while the circuit is already
+// open (an in-flight straggler) must not push the open deadline out, or a
+// trickle of stragglers postpones the half-open probe forever.
+func TestBreakerStragglerDoesNotExtendOpenWindow(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 150 * time.Millisecond}
+	b.fail() // trips: open for one cooldown from now
+	if b.allow() {
+		t.Fatal("circuit must be open immediately after tripping")
+	}
+	time.Sleep(90 * time.Millisecond)
+	b.fail() // straggler from a forward that was in flight at trip time
+	time.Sleep(90 * time.Millisecond)
+	// 180 ms since the trip: the original window expired, and the straggler
+	// must not have started a new one.
+	if !b.allow() {
+		t.Fatal("straggler failure extended the open window")
+	}
+	b.abort()
+}
+
+// TestBreakerHalfOpenSingleProbe: when the cooldown expires, exactly one
+// caller wins the probe slot; a failed probe re-opens the circuit, a
+// successful one closes it for everyone.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 50 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		b.fail()
+	}
+	if b.allow() {
+		t.Fatal("circuit should be open after threshold failures")
+	}
+	time.Sleep(60 * time.Millisecond)
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.allow() {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := wins.Load(); got != 1 {
+		t.Fatalf("%d callers claimed the half-open probe, want exactly 1", got)
+	}
+	b.fail() // probe verdict: still dead
+	if b.allow() {
+		t.Fatal("failed probe must re-open the circuit")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("next cooldown expiry must admit a fresh probe")
+	}
+	b.success() // probe verdict: recovered
+	if !b.allow() || !b.allow() {
+		t.Fatal("successful probe must close the circuit for all callers")
+	}
+}
+
+// TestBreakerAbortReleasesProbeSlot: a probe whose client disconnected
+// proves nothing about the peer; aborting must hand the slot to the next
+// caller instead of leaking it.
+func TestBreakerAbortReleasesProbeSlot(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 30 * time.Millisecond}
+	b.fail()
+	time.Sleep(40 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("expired cooldown must admit a probe")
+	}
+	if b.allow() {
+		t.Fatal("probe slot handed out twice")
+	}
+	b.abort()
+	if !b.allow() {
+		t.Fatal("aborted probe must release the slot to the next caller")
+	}
+}
+
+// TestFleetHalfOpenProbesOncePerCooldown is the end-to-end half-open
+// acceptance test: once a peer's circuit opens, each cooldown window admits
+// exactly ONE forward attempt — the pre-fix breaker reset its counter on
+// expiry and let a full threshold of requests hammer the dead peer per
+// window.
+func TestFleetHalfOpenProbesOncePerCooldown(t *testing.T) {
+	const cooldown = 400 * time.Millisecond
+
+	// The peer is a real replica behind a fault injector: while unhealthy,
+	// /v1/plan answers 500; the rest (e.g. /healthz) passes through.
+	peerSrv := New(Config{})
+	peerHandler := peerSrv.Handler()
+	var planHits atomic.Int32
+	var healthy atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/plan" {
+			planHits.Add(1)
+			if !healthy.Load() {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+		}
+		peerHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	s, ts := newTestServer(t, Config{BreakerThreshold: 3, BreakerCooldown: cooldown})
+	if err := s.SetRing(ring.Membership{Self: ts.URL, Peers: []string{flaky.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := peerSrv.SetRing(ring.Membership{Self: flaky.URL, Peers: []string{ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	req := reqOwnedBy(t, s, flaky.URL)
+	post := func() error {
+		resp, err := postJSONErr(ts.URL+"/v1/plan", req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+
+	// Phase 1: threshold consecutive peer failures trip the circuit; every
+	// request still answers 200 via local fallback.
+	for i := 0; i < 3; i++ {
+		if err := post(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := planHits.Load(); got != 3 {
+		t.Fatalf("peer saw %d plan forwards before the trip, want 3", got)
+	}
+
+	// Phase 2: the open circuit skips the peer entirely.
+	for i := 0; i < 5; i++ {
+		if err := post(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := planHits.Load(); got != 3 {
+		t.Fatalf("open circuit forwarded anyway: peer saw %d requests, want 3", got)
+	}
+
+	// Phase 3: after the cooldown, a concurrent burst gets exactly one
+	// half-open probe; its failure re-opens the circuit for everyone else.
+	time.Sleep(cooldown + 50*time.Millisecond)
+	var wg sync.WaitGroup
+	errs := make(chan error, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- post()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := planHits.Load(); got != 4 {
+		t.Fatalf("half-open window admitted %d probes, want exactly 1", got-3)
+	}
+	if err := post(); err != nil {
+		t.Fatal(err)
+	}
+	if got := planHits.Load(); got != 4 {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+
+	// Phase 4: the peer recovers; the next probe succeeds, closes the
+	// circuit, and traffic forwards to the owner again.
+	healthy.Store(true)
+	time.Sleep(cooldown + 50*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		resp, err := postJSONErr(ts.URL+"/v1/plan", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get(ServedByHeader); got != flaky.URL {
+			t.Fatalf("request %d after recovery served by %q, want owner %q", i, got, flaky.URL)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := planHits.Load(); got != 6 {
+		t.Fatalf("peer saw %d plan requests after recovery, want 6", got)
+	}
+}
+
+// TestForwardClientDisconnectDoesNotChargeBreaker: a client that gives up
+// mid-forward proves nothing about the peer, so the aborted attempt must
+// leave the peer's breaker untouched (threshold 1 would otherwise open it)
+// and must not count as a peer error.
+func TestForwardClientDisconnectDoesNotChargeBreaker(t *testing.T) {
+	peerGot := make(chan struct{})
+	hanging := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for the peer closing
+		// the connection once the handler consumed the request.
+		_, _ = io.Copy(io.Discard, r.Body)
+		close(peerGot)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hanging.Close)
+
+	s, ts := newTestServer(t, Config{BreakerThreshold: 1, ForwardTimeout: 10 * time.Second})
+	if err := s.SetRing(ring.Membership{Self: ts.URL, Peers: []string{hanging.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	req := reqOwnedBy(t, s, hanging.URL)
+	strat, best, _ := keyStrategy(req.Strategy)
+	key := planKey(cacheStrategyName(strat, best), req.Job, req.Econ)
+
+	hreq := httptest.NewRequest(http.MethodPost, "/v1/plan", nil)
+	ctx, cancel := context.WithCancel(hreq.Context())
+	hreq = hreq.WithContext(ctx)
+	go func() {
+		<-peerGot
+		cancel()
+	}()
+
+	if done := s.forwardToOwner(httptest.NewRecorder(), hreq, "/v1/plan", []byte(key), req); !done {
+		t.Fatal("client disconnect mid-forward must consume the request, not fall back locally")
+	}
+	peer := s.ringSt.Load().peers[hanging.URL]
+	if peer == nil {
+		t.Fatal("peer state missing for the hanging owner")
+	}
+	if got := peer.breaker.failures.Load(); got != 0 {
+		t.Fatalf("disconnect charged the breaker with %d failures, want 0", got)
+	}
+	if !peer.breaker.allow() {
+		t.Fatal("disconnect opened the peer's circuit")
+	}
+	text := getMetricsText(t, ts.URL)
+	errLine := "chronosd_ring_peer_errors_total{peer=\"" + hanging.URL + "\"}"
+	if got := metricValue(text, errLine); got != "" {
+		t.Errorf("%s = %q, want absent (the peer did nothing wrong)", errLine, got)
 	}
 }

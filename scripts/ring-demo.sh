@@ -5,11 +5,15 @@
 # because both forward the key to its single owning replica. It then sends a
 # request with a caller-chosen X-Chronosd-Trace-Id through a non-owning
 # replica and greps that ID out of BOTH replicas' structured logs — the
-# out-of-process proof that one trace ID spans a forward hop. Finally it
-# exercises the escrow failure path: it plants a lease at the tenant's pool
-# owner, SIGKILLs that owner mid-run, restarts it from its data dir, and
-# asserts the boot-time lease reclamation in the structured logs. Also used
-# as the CI smoke step for the ring serving path (make ring-demo).
+# out-of-process proof that one trace ID spans a forward hop. Then it proves
+# the fleet self-manages: it SIGKILLs the plan owner, shows the very next
+# request served WARM from the key's replica copy (-replication 2), waits for
+# the survivors' health monitors to evict the dead member, restarts it, and
+# asserts re-admission plus the warm cache handoff back. Finally it exercises
+# the escrow failure path: it plants a lease at the tenant's pool owner,
+# SIGKILLs that owner mid-run, restarts it from its data dir, and asserts the
+# boot-time lease reclamation in the structured logs. Also used as the CI
+# smoke step for the ring serving path (make ring-demo).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,12 +44,14 @@ trap cleanup EXIT
 
 # start_replica <port> <logfile>: one escrow-enabled ring member with a
 # per-port durable data dir. The short lease TTL keeps the reclamation
-# demonstration below fast.
+# demonstration below fast; the fast heartbeat and replication factor 2 keep
+# the eviction/re-admission demonstration fast.
 start_replica() {
   local p="$1" log="$2"
   "$BIN" -addr "127.0.0.1:$p" -self "http://127.0.0.1:$p" -peers "$PEERS" \
     -tenants "$TENANTS" -escrow -data-dir "$DATA_DIR/$p" \
-    -escrow-lease-ttl 2s 2>"$log" &
+    -escrow-lease-ttl 2s \
+    -heartbeat-interval 500ms -suspect-after 3 -replication 2 2>"$log" &
   PID_OF[$p]=$!
 }
 
@@ -135,6 +141,72 @@ grep "\"traceId\":\"$TRACE_ID\"" "$LOG_DIR/$ENTRY_PORT.log" | grep -q '"forward"
 echo
 echo "OK: cross-replica cache hit — planned via A, hit via B, owned by $OWNER"
 echo "OK: trace $TRACE_ID spans the forward hop ($ENTRY -> $OWNER)"
+
+# --- health-driven membership: kill the owner, read from its replica -------
+# With -replication 2 the owner pushed the hot plan to the key's first ring
+# successor as it solved it. SIGKILL the owner: the next request through a
+# survivor must be served WARM from that replica copy (cached:true — no cold
+# re-solve), the survivors' heartbeat monitors must evict the dead member
+# within the suspect window, and a restart must be re-admitted and receive
+# the remapped hot entries back via the warm handoff.
+echo
+echo "== SIGKILL the plan owner (:$OWNER_PORT) =="
+kill -9 "${PID_OF[$OWNER_PORT]}"
+unset "PID_OF[$OWNER_PORT]"
+
+WARM=""
+for _ in $(seq 1 20); do
+  R3="$(curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "$ENTRY/v1/plan")" \
+    || { sleep 0.2; continue; }
+  grep -q '"cached":true' <<<"$R3" && { WARM=1; break; }
+  sleep 0.2
+done
+[ -n "$WARM" ] \
+  || { echo "FAIL: no survivor served the dead owner's hot key from a replica copy"; exit 1; }
+REPLICA_READS="$(curl -sf "$ENTRY/metrics" \
+  | awk '$1 == "chronosd_ring_replica_reads_total" {print $2}')"
+[ "${REPLICA_READS:-0}" -ge 1 ] \
+  || { echo "FAIL: chronosd_ring_replica_reads_total=${REPLICA_READS:-0} on $ENTRY, want >= 1"; exit 1; }
+echo "   hot key served warm from its replica copy (replica_reads=$REPLICA_READS)"
+
+SURVIVOR_LOGS=()
+for p in "${PORTS[@]}"; do
+  [ "$p" != "$OWNER_PORT" ] && SURVIVOR_LOGS+=("$LOG_DIR/$p.log")
+done
+for log in "${SURVIVOR_LOGS[@]}"; do
+  for _ in $(seq 1 50); do
+    grep -q 'ring member suspected, evicting' "$log" && break
+    sleep 0.2
+  done
+  grep -q 'ring member suspected, evicting' "$log" \
+    || { echo "FAIL: $(basename "$log") never evicted the dead member"; exit 1; }
+done
+echo "   both survivors evicted the dead member from their effective rings"
+
+echo "== restarting the evicted member (:$OWNER_PORT) =="
+start_replica "$OWNER_PORT" "$LOG_DIR/$OWNER_PORT.rejoin.log"
+wait_healthy "$OWNER_PORT"
+for log in "${SURVIVOR_LOGS[@]}"; do
+  for _ in $(seq 1 50); do
+    grep -q 'ring member recovered, re-admitting' "$log" && break
+    sleep 0.2
+  done
+  grep -q 'ring member recovered, re-admitting' "$log" \
+    || { echo "FAIL: $(basename "$log") never re-admitted the recovered member"; exit 1; }
+done
+HANDOFF=0
+for p in "${PORTS[@]}"; do
+  [ "$p" = "$OWNER_PORT" ] && continue
+  n="$(curl -sf "http://127.0.0.1:$p/metrics" \
+    | awk '$1 == "chronosd_ring_handoff_entries_total" {print $2}')"
+  [ "${n:-0}" -ge 1 ] && HANDOFF="$n"
+done
+[ "$HANDOFF" -ge 1 ] \
+  || { echo "FAIL: no survivor streamed remapped cache entries back (handoff_entries=0)"; exit 1; }
+echo "   re-admitted; a survivor handed $HANDOFF remapped hot entries back"
+
+echo
+echo "OK: dead member evicted, hot key served from its replica, rejoin handed the keys back"
 
 # --- escrow: kill the pool owner, assert lease reclamation -----------------
 # Real admits flow through the fleet (non-owners of the tenant key lease
